@@ -1,0 +1,40 @@
+"""Shared settings and helpers for the benchmark suite.
+
+Every figure/table of the paper's evaluation has one ``bench_*`` module.
+Benchmarks run the corresponding experiment at a reduced scale (see
+DESIGN.md's substitution notes), record the series the paper plots in
+``benchmark.extra_info``, and print it so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the harness that regenerates the numbers
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_series
+from repro.experiments.settings import ExperimentSettings
+
+#: The benchmark profile: small enough for minutes-long total runtime,
+#: wide enough to exhibit every shape the paper reports.
+BENCH_SETTINGS = ExperimentSettings(
+    thresholds=(2, 4, 6),
+    tree_sizes=(30, 60, 120),
+    tree_heights=(3, 4, 5),
+    row_counts=(2, 3),
+    tree_leaves=60,
+    tpch_scale=0.015,
+    imdb_people=80,
+    imdb_movies=50,
+    max_candidates=4_000,
+    max_seconds=20.0,
+)
+
+BENCH_QUERIES = ("TPCH-Q3", "TPCH-Q10", "IMDB-Q1")
+
+
+def record_series(benchmark, title: str, series, x_label: str, y_label: str) -> None:
+    """Attach a figure's series to the benchmark record and print it."""
+    benchmark.extra_info["series"] = {
+        name: list(points) for name, points in series.items()
+    }
+    print()
+    print(format_series(title, series, x_label=x_label, y_label=y_label))

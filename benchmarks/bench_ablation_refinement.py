@@ -1,0 +1,41 @@
+"""Ablation: per-occurrence refinement on top of Algorithm 2.
+
+DESIGN.md design-choice ablation — Definition 3.1 allows per-occurrence
+abstraction targets but the paper's search is per-variable uniform.  The
+greedy refinement pass must never raise the LOI and must preserve the
+privacy guarantee; this bench records how much LOI it recovers and what it
+costs.
+"""
+
+import pytest
+
+from _common import BENCH_SETTINGS
+from repro.core.refine import refine_per_occurrence
+from repro.experiments.runner import prepare_context, timed_optimal
+
+QUERIES = ("TPCH-Q3", "IMDB-Q1")
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_refinement_ablation(benchmark, query_name):
+    context = prepare_context(query_name, BENCH_SETTINGS)
+    base, _ = timed_optimal(context, threshold=2)
+    assert base.found and base.function is not None
+
+    def run():
+        return refine_per_occurrence(
+            context.example, context.tree, base.function, threshold=2
+        )
+
+    refined = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["query"] = query_name
+    benchmark.extra_info["uniform_loi"] = base.loi
+    benchmark.extra_info["refined_loi"] = refined.loi
+    benchmark.extra_info["moves_applied"] = refined.moves_applied
+    print(
+        f"\n{query_name}: uniform LOI {base.loi:.3f} -> per-occurrence "
+        f"{refined.loi:.3f} ({refined.moves_applied} moves, privacy "
+        f"{refined.privacy})"
+    )
+    assert refined.loi <= base.loi + 1e-12
+    assert refined.privacy >= 2

@@ -1,0 +1,27 @@
+"""Section 5.2 (LOI distribution): runtimes under uniform vs random weights.
+
+Paper shape: runtimes are not affected by the distribution choice; only
+the identity of the optimal abstraction may change.
+"""
+
+from _common import BENCH_SETTINGS, record_series
+from repro.experiments.figures import run_distribution_sensitivity
+
+QUERIES = ("TPCH-Q3", "IMDB-Q1")
+
+
+def test_distribution_sensitivity(benchmark):
+    series = benchmark.pedantic(
+        run_distribution_sensitivity,
+        kwargs={"settings": BENCH_SETTINGS, "queries": QUERIES},
+        rounds=1, iterations=1,
+    )
+    record_series(
+        benchmark,
+        "LOI distribution sensitivity (x=0 uniform, x=1 random weights)",
+        series, x_label="query \\ distribution", y_label="seconds",
+    )
+    for name, points in series.items():
+        uniform_s, weighted_s = points[0][1], points[1][1]
+        # Same order of magnitude (paper: "not affected on average").
+        assert weighted_s < 50 * uniform_s + 5.0, name

@@ -1,0 +1,26 @@
+"""Section 4.2 (the dual problem): max privacy under an LOI cap.
+
+Paper claim: the LOI cap bounds the scanned abstraction space, so the dual
+is more efficiently solvable than an uncapped scan.
+"""
+
+from _common import BENCH_SETTINGS, record_series
+from repro.experiments.figures import run_dual_problem
+
+QUERIES = ("TPCH-Q3", "IMDB-Q1")
+
+
+def test_dual_problem(benchmark):
+    series = benchmark.pedantic(
+        run_dual_problem,
+        kwargs={"settings": BENCH_SETTINGS, "queries": QUERIES},
+        rounds=1, iterations=1,
+    )
+    record_series(
+        benchmark,
+        "Dual problem (x=0 primal seconds, x=1 dual seconds, x=2 dual privacy)",
+        series, x_label="query \\ metric", y_label="value",
+    )
+    for name, points in series.items():
+        metrics = dict(points)
+        assert metrics[2] >= 0, f"{name}: dual must return a privacy value"

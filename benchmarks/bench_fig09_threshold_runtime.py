@@ -1,0 +1,26 @@
+"""Figure 9: optimizer runtime as the privacy threshold grows.
+
+Paper shape: runtime grows mildly with k and stays tractable up to k=20
+(here swept to the BENCH_SETTINGS thresholds); no blow-up in k.
+"""
+
+import pytest
+
+from _common import BENCH_QUERIES, BENCH_SETTINGS
+from repro.experiments.runner import prepare_context, timed_optimal
+
+
+@pytest.mark.parametrize("query_name", BENCH_QUERIES)
+@pytest.mark.parametrize("threshold", BENCH_SETTINGS.thresholds)
+def test_fig09_threshold_runtime(benchmark, query_name, threshold):
+    context = prepare_context(query_name, BENCH_SETTINGS)
+
+    def run():
+        result, _ = timed_optimal(context, threshold)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["query"] = query_name
+    benchmark.extra_info["threshold"] = threshold
+    benchmark.extra_info["privacy"] = result.privacy
+    benchmark.extra_info["found"] = result.found

@@ -1,0 +1,25 @@
+"""Figure 10: optimal abstraction size (tree edges used) vs privacy threshold.
+
+Paper shape: the abstraction size grows slowly with k — higher privacy does
+not require a much larger abstraction.
+"""
+
+from _common import BENCH_QUERIES, BENCH_SETTINGS, record_series
+from repro.experiments.figures import run_fig10_threshold_size
+
+
+def test_fig10_threshold_size(benchmark):
+    series = benchmark.pedantic(
+        run_fig10_threshold_size,
+        kwargs={"settings": BENCH_SETTINGS, "queries": BENCH_QUERIES},
+        rounds=1, iterations=1,
+    )
+    record_series(
+        benchmark, "Figure 10: abstraction size vs privacy threshold",
+        series, x_label="query \\ k", y_label="tree edges used",
+    )
+    for name, points in series.items():
+        sizes = [edges for _, edges in points if edges >= 0]
+        assert sizes, f"{name}: no threshold satisfied"
+        # Shape: slow growth — the largest is within a few edges of the smallest.
+        assert max(sizes) - min(sizes) <= 10

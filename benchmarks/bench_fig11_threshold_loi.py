@@ -1,0 +1,24 @@
+"""Figure 11: loss of information vs privacy threshold.
+
+Paper shape: LOI increases with k — privacy is paid for in information.
+"""
+
+import math
+
+from _common import BENCH_QUERIES, BENCH_SETTINGS, record_series
+from repro.experiments.figures import run_fig11_threshold_loi
+
+
+def test_fig11_threshold_loi(benchmark):
+    series = benchmark.pedantic(
+        run_fig11_threshold_loi,
+        kwargs={"settings": BENCH_SETTINGS, "queries": BENCH_QUERIES},
+        rounds=1, iterations=1,
+    )
+    record_series(
+        benchmark, "Figure 11: loss of information vs privacy threshold",
+        series, x_label="query \\ k", y_label="LOI (nats)",
+    )
+    for name, points in series.items():
+        values = [v for _, v in points if not math.isnan(v)]
+        assert values == sorted(values), f"{name}: LOI must not decrease in k"

@@ -1,0 +1,25 @@
+"""Figure 12: optimizer runtime as the abstraction tree grows.
+
+Paper shape: runtime grows with the number of leaves but stays tractable
+even as the tree approaches the data size.
+"""
+
+import pytest
+
+from _common import BENCH_QUERIES, BENCH_SETTINGS
+from repro.experiments.runner import prepare_context, timed_optimal
+
+
+@pytest.mark.parametrize("query_name", BENCH_QUERIES)
+@pytest.mark.parametrize("n_leaves", BENCH_SETTINGS.tree_sizes)
+def test_fig12_treesize_runtime(benchmark, query_name, n_leaves):
+    context = prepare_context(query_name, BENCH_SETTINGS, n_leaves=n_leaves)
+
+    def run():
+        result, _ = timed_optimal(context, BENCH_SETTINGS.privacy_threshold)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["query"] = query_name
+    benchmark.extra_info["tree_leaves"] = n_leaves
+    benchmark.extra_info["found"] = result.found

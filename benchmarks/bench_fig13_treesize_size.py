@@ -1,0 +1,29 @@
+"""Figure 13: optimal abstraction size vs tree size.
+
+Paper shape: larger trees need *fewer* edges — each abstract node covers
+more concretizations, so less of the tree must be used for the same
+privacy.
+"""
+
+from _common import BENCH_QUERIES, BENCH_SETTINGS, record_series
+from repro.experiments.figures import run_fig13_treesize_size
+
+
+def test_fig13_treesize_size(benchmark):
+    series = benchmark.pedantic(
+        run_fig13_treesize_size,
+        kwargs={"settings": BENCH_SETTINGS, "queries": BENCH_QUERIES},
+        rounds=1, iterations=1,
+    )
+    record_series(
+        benchmark, "Figure 13: abstraction size vs tree size",
+        series, x_label="query \\ leaves", y_label="tree edges used",
+    )
+    shrinking = 0
+    for points in series.values():
+        sizes = [edges for _, edges in points if edges >= 0]
+        if len(sizes) >= 2 and sizes[-1] <= sizes[0]:
+            shrinking += 1
+    assert shrinking >= len(series) // 2, (
+        "larger trees should mostly not need more edges"
+    )

@@ -1,0 +1,25 @@
+"""Figure 14: optimizer runtime as the tree height varies.
+
+Paper shape: no global "higher tree = slower" trend; each query has its
+own best height (a U-shaped or flat curve).
+"""
+
+import pytest
+
+from _common import BENCH_QUERIES, BENCH_SETTINGS
+from repro.experiments.runner import prepare_context, timed_optimal
+
+
+@pytest.mark.parametrize("query_name", BENCH_QUERIES)
+@pytest.mark.parametrize("height", BENCH_SETTINGS.tree_heights)
+def test_fig14_height_runtime(benchmark, query_name, height):
+    context = prepare_context(query_name, BENCH_SETTINGS, height=height)
+
+    def run():
+        result, _ = timed_optimal(context, BENCH_SETTINGS.privacy_threshold)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["query"] = query_name
+    benchmark.extra_info["tree_height"] = height
+    benchmark.extra_info["found"] = result.found

@@ -1,0 +1,28 @@
+"""Figure 15: optimal abstraction size vs tree height.
+
+Paper shape: the abstraction size increases with tree height — deeper
+trees mean longer leaf-to-target paths.
+"""
+
+from _common import BENCH_QUERIES, BENCH_SETTINGS, record_series
+from repro.experiments.figures import run_fig15_height_size
+
+
+def test_fig15_height_size(benchmark):
+    series = benchmark.pedantic(
+        run_fig15_height_size,
+        kwargs={"settings": BENCH_SETTINGS, "queries": BENCH_QUERIES},
+        rounds=1, iterations=1,
+    )
+    record_series(
+        benchmark, "Figure 15: abstraction size vs tree height",
+        series, x_label="query \\ height", y_label="tree edges used",
+    )
+    growing = 0
+    for points in series.values():
+        sizes = [edges for _, edges in points if edges >= 0]
+        if len(sizes) >= 2 and sizes[-1] >= sizes[0]:
+            growing += 1
+    assert growing >= len(series) // 2, (
+        "deeper trees should mostly use at least as many edges"
+    )

@@ -1,0 +1,33 @@
+"""Figure 16: optimizer runtime vs the number of query joins.
+
+Paper shape: runtime is not significantly affected by the join count —
+the cost is driven by the abstraction space, not query width.
+"""
+
+import pytest
+
+from _common import BENCH_SETTINGS
+from repro.datasets.queries import join_variants
+from repro.experiments.runner import prepare_context, timed_optimal
+
+SWEEP = ("TPCH-Q7", "IMDB-Q2")
+
+
+def _variants():
+    for name in SWEEP:
+        for n_joins, query in join_variants(name):
+            yield pytest.param(name, n_joins, query, id=f"{name}-j{n_joins}")
+
+
+@pytest.mark.parametrize("query_name, n_joins, query", list(_variants()))
+def test_fig16_joins_runtime(benchmark, query_name, n_joins, query):
+    context = prepare_context(query_name, BENCH_SETTINGS, query=query)
+
+    def run():
+        result, _ = timed_optimal(context, BENCH_SETTINGS.privacy_threshold)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["query"] = query_name
+    benchmark.extra_info["joins"] = n_joins
+    benchmark.extra_info["found"] = result.found

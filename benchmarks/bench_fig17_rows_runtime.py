@@ -1,0 +1,28 @@
+"""Figure 17: optimizer runtime vs the number of K-example rows.
+
+Paper shape: the row count is *the* determining runtime factor — more rows
+mean fewer CIM queries per concretization, forcing the search to examine
+exponentially many abstractions.
+"""
+
+import pytest
+
+from _common import BENCH_SETTINGS
+from repro.experiments.runner import prepare_context, timed_optimal
+
+QUERIES = ("TPCH-Q3", "IMDB-Q1")
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+@pytest.mark.parametrize("n_rows", BENCH_SETTINGS.row_counts)
+def test_fig17_rows_runtime(benchmark, query_name, n_rows):
+    context = prepare_context(query_name, BENCH_SETTINGS, n_rows=n_rows)
+
+    def run():
+        result, _ = timed_optimal(context, BENCH_SETTINGS.privacy_threshold)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["query"] = query_name
+    benchmark.extra_info["rows"] = n_rows
+    benchmark.extra_info["found"] = result.found

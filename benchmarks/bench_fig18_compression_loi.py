@@ -1,0 +1,34 @@
+"""Figure 18: LOI of our optimum vs the compression baseline of [24].
+
+Paper shape: the compression-based approach pays roughly 2-3x the loss of
+information to reach the same privacy threshold.
+"""
+
+import math
+
+from _common import BENCH_SETTINGS, record_series
+from repro.experiments.figures import run_fig18_compression_loi
+
+QUERIES = ("TPCH-Q3", "IMDB-Q1")
+
+
+def test_fig18_compression_loi(benchmark):
+    series = benchmark.pedantic(
+        run_fig18_compression_loi,
+        kwargs={"settings": BENCH_SETTINGS, "queries": QUERIES},
+        rounds=1, iterations=1,
+    )
+    record_series(
+        benchmark, "Figure 18: LOI, ours vs compression [24]",
+        series, x_label="series \\ k", y_label="LOI (nats)",
+    )
+    for name in QUERIES:
+        ours = dict(series[f"{name} (ours)"])
+        theirs = dict(series[f"{name} (compression [24])"])
+        for k, our_loi in ours.items():
+            their_loi = theirs[k]
+            if math.isnan(our_loi) or math.isnan(their_loi):
+                continue
+            assert their_loi >= our_loi - 1e-9, (
+                f"{name} k={k}: the baseline cannot beat the optimum"
+            )

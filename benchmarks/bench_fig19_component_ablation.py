@@ -1,0 +1,49 @@
+"""Figure 19: effect of each Section 4.1 component vs the brute force.
+
+Paper shape: 'sorting abstractions' and 'LOI before privacy' dominate
+(>100x); row-by-row, connectivity filtering, and caching each give
+constant-factor gains.  Brute force is normalized to 100%.
+"""
+
+from _common import BENCH_SETTINGS, record_series
+from repro.experiments.figures import (
+    ABLATION_LABELS,
+    run_fig19_component_ablation,
+)
+
+
+def test_fig19_component_ablation(benchmark):
+    series = benchmark.pedantic(
+        run_fig19_component_ablation,
+        kwargs={
+            "settings": BENCH_SETTINGS,
+            "queries": ("TPCH-Q3", "IMDB-Q1"),
+            "threshold": 2,
+            "n_leaves": 14,
+            "height": 3,
+            "budget_seconds": 45.0,
+        },
+        rounds=1, iterations=1,
+    )
+    labelled = {
+        name: [(x, pct) for x, pct in points]
+        for name, points in series.items()
+    }
+    record_series(
+        benchmark,
+        "Figure 19: % of brute-force runtime per standalone component "
+        f"(x = {', '.join(f'{i}:{l}' for i, l in enumerate(ABLATION_LABELS))})",
+        labelled, x_label="query \\ component", y_label="% of brute force",
+    )
+    for name, points in series.items():
+        by_index = dict(points)
+        # The search-side components must dominate the baseline.  When both
+        # the baseline and a component run saturate the wall-clock budget
+        # the ratio degenerates to ~100%, so allow a small saturation band
+        # rather than a strict inequality (EXPERIMENTS.md, deviation 3).
+        assert by_index[1] < 115.0, f"{name}: sorting should beat brute force"
+        assert by_index[2] < 115.0, f"{name}: loi-first should beat brute force"
+        assert min(by_index[1], by_index[2]) < 100.0, (
+            f"{name}: at least one search-side component must finish "
+            "under the brute-force budget"
+        )

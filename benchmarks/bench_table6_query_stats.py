@@ -1,0 +1,23 @@
+"""Table 6: the workload's atom and join counts."""
+
+from repro.experiments.figures import run_table6_query_stats
+
+PAPER_TABLE6 = {
+    "TPCH-Q3": (3, 2), "TPCH-Q4": (2, 1), "TPCH-Q5": (7, 6),
+    "TPCH-Q7": (6, 5), "TPCH-Q9": (6, 5), "TPCH-Q10": (4, 3),
+    "TPCH-Q21": (6, 5),
+    "IMDB-Q1": (3, 2), "IMDB-Q2": (6, 5), "IMDB-Q3": (5, 4),
+    "IMDB-Q4": (7, 6), "IMDB-Q5": (4, 3), "IMDB-Q6": (5, 4),
+    "IMDB-Q7": (7, 6),
+}
+
+
+def test_table6_query_stats(benchmark):
+    stats = benchmark.pedantic(run_table6_query_stats, rounds=1, iterations=1)
+    print()
+    print("Table 6: query workload")
+    print(f"  {'query':<10} {'atoms':>6} {'joins':>6}   paper")
+    for name, (atoms, joins) in sorted(stats.items()):
+        expected = PAPER_TABLE6[name]
+        print(f"  {name:<10} {atoms:>6} {joins:>6}   {expected}")
+    assert stats == PAPER_TABLE6

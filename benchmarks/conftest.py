@@ -1,0 +1,7 @@
+"""Benchmark fixtures: reuse one dataset/context cache across the suite."""
+
+import sys
+from pathlib import Path
+
+# Allow ``from _common import ...`` regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,53 @@
+"""IMDB explanations and the simulated user study.
+
+Reproduces the paper's user-study setting (Section 5.2): the Bacon-number
+query IMDB-Q3 over an IMDB-style database with the hand-built ontology
+abstraction tree.  Group A sees raw provenance, Group B the optimal
+abstraction; the simulation measures query identification and hypothetical
+deletion-question accuracy (Table 7 / Figure 20).
+
+Run:  python examples/imdb_explanations.py
+"""
+
+from repro import build_kexample
+from repro.datasets.imdb import generate_imdb
+from repro.datasets.queries import get_query
+from repro.datasets.trees import imdb_ontology_tree
+from repro.userstudy import generate_questions, run_user_study
+
+
+def main() -> None:
+    db = generate_imdb(seed=1)
+    tree = imdb_ontology_tree(db)
+    query = get_query("IMDB-Q3")
+    example = build_kexample(query, db, n_rows=2, max_overlap=0.5)
+
+    print("== The (secret) query ==")
+    print(f"  {query}\n")
+    print("== Explanations as published (raw provenance) ==")
+    for row in example.rows:
+        print(f"  {row}")
+    print()
+
+    questions = generate_questions(example, db, n_questions=10, seed=7)
+    print("== The ten hypothetical questions ==")
+    for index, question in enumerate(questions):
+        print(f"  Q{index + 1}: {question.description}")
+    print()
+
+    result = run_user_study(
+        example, query, tree,
+        threshold=3, questions=questions, seed=7,
+    )
+    print("== Study outcome (paper's Table 7: A 6/6 vs B 0/6; 96% vs 85%) ==")
+    print(f"  {result.summary()}\n")
+    print("== Per-question breakdown (Figure 20) ==")
+    print(f"  {'question':>9} {'group A':>8} {'group B':>8}")
+    for index in range(result.n_questions):
+        print(f"  {'Q' + str(index + 1):>9} "
+              f"{result.group_a_correct[index]:>8} "
+              f"{result.group_b_correct[index]:>8}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""The future-work extensions: Lin(X) completion and inferred trees.
+
+Two scenarios beyond the paper's core pipeline:
+
+1. **Partial lineage.** A data provider published only Lin(X) provenance —
+   the flat *set* of contributing tuples, possibly incomplete.  We complete
+   it into candidate monomials (the paper's suggested pre-step) and run the
+   CIM attack on the completions.
+2. **Inferred abstraction trees.** No curator built a tree; we infer one
+   from attribute values (Section 4's construction sketch) and use it to
+   find an optimal abstraction.
+
+Run:  python examples/lineage_and_inferred_trees.py
+"""
+
+from repro import (
+    PrivacyComputer,
+    build_kexample,
+    complete_lineage,
+    find_optimal_abstraction,
+    kexamples_from_lineage,
+    render_kexample,
+    render_query,
+    render_tree,
+    tree_by_attributes,
+)
+from repro.examples_data import Q_REAL, running_example_db
+
+
+def lineage_scenario(db) -> None:
+    print("== Scenario 1: completing partial Lin(X) provenance ==")
+    published = [((1,), ["p1", "h1"]), ((2,), ["p2", "h2"])]
+    print("published lineage (incomplete!):")
+    for output, lineage in published:
+        print(f"  {output} <- {set(lineage)}")
+
+    completions = complete_lineage((1,), ["p1", "h1"], db)
+    print(f"\ncompletions for row (1,): {len(completions)} candidates")
+    for monomial in completions[:5]:
+        print(f"  {monomial!r}")
+
+    examples = kexamples_from_lineage(published, db, max_extra_tuples=1)
+    print(f"\ncandidate K-examples after completion: {len(examples)}")
+    if examples:
+        print(render_kexample(examples[0]))
+
+
+def inferred_tree_scenario(db) -> None:
+    print("\n== Scenario 2: inferring the abstraction tree ==")
+    tree = tree_by_attributes(
+        db, {"Hobbies": ["hobby"], "Interests": ["interest"]}
+    )
+    example = build_kexample(Q_REAL, db, n_rows=2)
+    print(render_tree(tree, highlight=example.variables(), max_children=6))
+
+    result = find_optimal_abstraction(example, tree, threshold=2)
+    assert result.found and result.abstracted is not None
+    print(f"\noptimal abstraction: privacy={result.privacy} "
+          f"LOI={result.loi:.3f}")
+    print(render_kexample(result.abstracted))
+
+    computer = PrivacyComputer(tree, db.registry)
+    print("\nattacker's candidates:")
+    for query in sorted(computer.cim_queries(result.abstracted), key=repr):
+        print(f"  {render_query(query)}")
+
+
+def main() -> None:
+    db = running_example_db()
+    lineage_scenario(db)
+    inferred_tree_scenario(db)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Provenance abstraction: trees, abstraction functions, concretizations."""
+
+from repro.abstraction.tree import AbstractionTree, TreeNode
+from repro.abstraction.function import AbstractionFunction
+from repro.abstraction.builders import (
+    balanced_tree,
+    tree_by_attributes,
+    tree_from_categories,
+    tree_over_annotations,
+)
+from repro.abstraction.concretization import ConcretizationEngine
+
+__all__ = [
+    "AbstractionFunction",
+    "AbstractionTree",
+    "ConcretizationEngine",
+    "TreeNode",
+    "balanced_tree",
+    "tree_by_attributes",
+    "tree_from_categories",
+    "tree_over_annotations",
+]

@@ -1,0 +1,197 @@
+"""Factory functions for abstraction trees.
+
+Mirrors the paper's two construction styles (Section 4, "Constructing
+abstraction trees"):
+
+* :func:`balanced_tree` — the TPC-H style: a set of annotations divided
+  randomly and evenly into synthetic sub-categories down to a target height.
+* :func:`tree_from_categories` — the IMDB style: an explicit ontology given
+  as nested dictionaries whose leaves are annotation lists.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.errors import AbstractionError
+from repro.abstraction.tree import AbstractionTree
+
+
+def balanced_tree(
+    annotations: Sequence[str],
+    height: int,
+    seed: int = 0,
+    root_label: str = "*",
+    category_prefix: str = "cat",
+) -> AbstractionTree:
+    """A tree of the given height whose leaves are ``annotations``.
+
+    Annotations are shuffled deterministically (``seed``) and divided evenly:
+    each level splits every group into roughly equal sub-groups so that after
+    ``height - 1`` splits the groups are the individual leaves.  This is the
+    construction used for the paper's TPC-H tree ("randomly divided into
+    subcategories evenly throughout the tree").
+    """
+    annotations = list(annotations)
+    if not annotations:
+        raise AbstractionError("cannot build a tree over zero annotations")
+    if height < 1:
+        raise AbstractionError("tree height must be at least 1")
+    rng = random.Random(seed)
+    rng.shuffle(annotations)
+
+    tree = AbstractionTree(root_label)
+    levels = max(height - 1, 0)
+    # Branching factor so that branching^levels >= number of leaves.
+    if levels == 0:
+        for ann in annotations:
+            tree.add_node(ann, root_label)
+        return tree.freeze()
+    branching = max(2, math.ceil(len(annotations) ** (1.0 / levels)))
+
+    counter = 0
+
+    def build(parent: str, group: list[str], remaining_levels: int) -> None:
+        nonlocal counter
+        if remaining_levels == 0 or len(group) == 1:
+            for ann in group:
+                tree.add_node(ann, parent)
+            return
+        chunks = _split_evenly(group, branching)
+        for chunk in chunks:
+            if len(chunk) == 1 and remaining_levels == 1:
+                tree.add_node(chunk[0], parent)
+                continue
+            counter += 1
+            label = f"{category_prefix}_{counter}"
+            tree.add_node(label, parent)
+            build(label, chunk, remaining_levels - 1)
+
+    build(root_label, annotations, levels)
+    return tree.freeze()
+
+
+def _split_evenly(items: list, n_chunks: int) -> list[list]:
+    n_chunks = min(n_chunks, len(items))
+    base, extra = divmod(len(items), n_chunks)
+    chunks = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start:start + size])
+        start += size
+    return [c for c in chunks if c]
+
+
+def tree_from_categories(
+    categories: Mapping[str, object],
+    root_label: str = "*",
+) -> AbstractionTree:
+    """Build a tree from a nested mapping ontology.
+
+    ``categories`` maps category labels to either a nested mapping (a
+    sub-ontology) or an iterable of annotation strings (the leaves of that
+    category)::
+
+        tree_from_categories({
+            "Social Network": {
+                "Facebook": ["h1", "h3", "h4", "i2", "i5"],
+                "LinkedIn": ["h2", "h5", "i3"],
+            },
+            "WikiLeaks": ["i1", "i4", "i6", "h6"],
+        })
+    """
+    tree = AbstractionTree(root_label)
+
+    def build(parent: str, spec: object) -> None:
+        if isinstance(spec, Mapping):
+            for label, child_spec in spec.items():
+                tree.add_node(str(label), parent)
+                build(str(label), child_spec)
+        elif isinstance(spec, Iterable) and not isinstance(spec, (str, bytes)):
+            for ann in spec:
+                tree.add_node(str(ann), parent)
+        else:
+            raise AbstractionError(
+                f"category spec must be a mapping or iterable, got {spec!r}"
+            )
+
+    build(root_label, categories)
+    return tree.freeze()
+
+
+def tree_by_attributes(
+    database,
+    relation_attributes: Mapping[str, Sequence[str]],
+    root_label: str = "*",
+) -> AbstractionTree:
+    """Infer an abstraction tree from the database content (Section 4).
+
+    The paper leaves (semi-)automatic tree inference as future work but
+    sketches the recipe: place annotations of tuples "containing the same
+    values in the same attributes" under a common node.  This builder
+    implements it: for each relation, nest by the given attributes in
+    order; the leaves are the tuple annotations.
+
+    Example — group lineitems by return flag, then ship month::
+
+        tree_by_attributes(db, {"lineitem": ["returnflag"]})
+
+    Relations not mentioned get a flat category of their own, so the tree
+    is compatible with any K-example over the database.
+    """
+    from repro.db.database import KDatabase
+
+    if not isinstance(database, KDatabase):
+        raise AbstractionError("tree_by_attributes needs a KDatabase")
+
+    categories: dict[str, object] = {}
+    for relation_schema in database.schema:
+        name = relation_schema.name
+        attrs = list(relation_attributes.get(name, ()))
+        positions = [relation_schema.position(a) for a in attrs]
+        if not positions:
+            categories[f"rel:{name}"] = [
+                t.annotation for t in database.relation(name)
+            ]
+            continue
+        nested: dict = {}
+        for tup in database.relation(name):
+            node = nested
+            path = f"rel:{name}"
+            for attr, pos in zip(attrs[:-1], positions[:-1]):
+                path = f"{path}/{attr}={tup.values[pos]}"
+                node = node.setdefault(path, {})
+            last_path = f"{path}/{attrs[-1]}={tup.values[positions[-1]]}"
+            node.setdefault(last_path, []).append(tup.annotation)
+        categories[f"rel:{name}"] = nested
+    return tree_from_categories(categories, root_label=root_label)
+
+
+def tree_over_annotations(
+    annotations: Sequence[str],
+    n_leaves: int,
+    height: int,
+    seed: int = 0,
+    must_include: Iterable[str] = (),
+) -> AbstractionTree:
+    """A balanced tree over a sample of ``annotations`` of size ``n_leaves``.
+
+    Used by the scalability experiments to sweep tree size independently of
+    database size.  ``must_include`` (typically the K-example's variables)
+    is always placed in the sample so the tree stays useful for abstraction.
+    """
+    must = list(dict.fromkeys(must_include))
+    pool = [a for a in annotations if a not in set(must)]
+    rng = random.Random(seed)
+    extra_needed = max(n_leaves - len(must), 0)
+    if extra_needed > len(pool):
+        extra = pool
+    else:
+        extra = rng.sample(pool, extra_needed)
+    sample = must + extra
+    if not sample:
+        raise AbstractionError("no annotations available for the tree")
+    return balanced_tree(sample, height=height, seed=seed)

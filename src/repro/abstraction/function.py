@@ -1,0 +1,161 @@
+"""Abstraction functions (Definition 3.1).
+
+An abstraction function maps each annotation *occurrence* of a K-example to
+an ancestor of that annotation in the abstraction tree (or to itself).  The
+common case — mapping every occurrence of a variable uniformly — is built
+with :meth:`AbstractionFunction.uniform`; per-occurrence maps are supported
+because Definition 3.1 allows them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import AbstractionError
+from repro.abstraction.tree import AbstractionTree
+from repro.provenance.kexample import AbstractedKExample, KExample, KExampleRow
+from repro.semirings.semimodule import AggregateExpression
+
+
+class AbstractionFunction:
+    """A choice of abstraction target per annotation occurrence.
+
+    ``assignment`` maps ``(row_index, occurrence_index)`` to a tree label;
+    positions not present are mapped to themselves (the identity).  The
+    constructor validates that every target is a proper tree ancestor of the
+    source annotation.
+    """
+
+    __slots__ = ("_tree", "_assignment")
+
+    def __init__(
+        self,
+        tree: AbstractionTree,
+        example: KExample,
+        assignment: Mapping[tuple[int, int], str],
+    ):
+        self._tree = tree
+        cleaned: dict[tuple[int, int], str] = {}
+        for (row_idx, occ_idx), target in assignment.items():
+            if row_idx < 0 or row_idx >= len(example.rows):
+                raise AbstractionError(f"row index out of range: {row_idx}")
+            row = example.rows[row_idx]
+            if occ_idx < 0 or occ_idx >= len(row.occurrences):
+                raise AbstractionError(
+                    f"occurrence index out of range: {(row_idx, occ_idx)}"
+                )
+            source = row.occurrences[occ_idx]
+            if target == source:
+                continue  # identity; not an abstraction
+            if source not in tree or not tree.is_leaf(source):
+                raise AbstractionError(
+                    f"cannot abstract {source!r}: not a leaf of the tree"
+                )
+            if not tree.is_ancestor(source, target):
+                raise AbstractionError(
+                    f"{target!r} is not an ancestor of {source!r}"
+                )
+            cleaned[(row_idx, occ_idx)] = target
+        self._assignment = cleaned
+
+    @classmethod
+    def identity(cls, tree: AbstractionTree, example: KExample) -> "AbstractionFunction":
+        """The abstraction that changes nothing."""
+        return cls(tree, example, {})
+
+    @classmethod
+    def uniform(
+        cls,
+        tree: AbstractionTree,
+        example: KExample,
+        variable_targets: Mapping[str, str],
+    ) -> "AbstractionFunction":
+        """Map every occurrence of each variable to the same target label."""
+        assignment: dict[tuple[int, int], str] = {}
+        for row_idx, row in enumerate(example.rows):
+            for occ_idx, ann in enumerate(row.occurrences):
+                target = variable_targets.get(ann)
+                if target is not None and target != ann:
+                    assignment[(row_idx, occ_idx)] = target
+        return cls(tree, example, assignment)
+
+    @property
+    def tree(self) -> AbstractionTree:
+        return self._tree
+
+    @property
+    def assignment(self) -> dict[tuple[int, int], str]:
+        return dict(self._assignment)
+
+    def target(self, example: KExample, row_idx: int, occ_idx: int) -> str:
+        """Where the given occurrence is mapped (itself if not abstracted)."""
+        key = (row_idx, occ_idx)
+        if key in self._assignment:
+            return self._assignment[key]
+        return example.rows[row_idx].occurrences[occ_idx]
+
+    def num_abstracted(self) -> int:
+        return len(self._assignment)
+
+    def edges_used(self, example: KExample) -> int:
+        """The number of distinct tree edges used by the abstraction.
+
+        This is the paper's "optimal abstraction size" metric: the union of
+        the edges on every (leaf -> target) path.
+        """
+        edges: set[tuple[str, str]] = set()
+        for (row_idx, occ_idx), target in self._assignment.items():
+            source = example.rows[row_idx].occurrences[occ_idx]
+            edges.update(self._tree.path_edges(source, target))
+        return len(edges)
+
+    def apply(self, example: KExample) -> AbstractedKExample:
+        """``A_T(Ex)``: the abstracted K-example."""
+        new_rows: list[KExampleRow] = []
+        for row_idx, row in enumerate(example.rows):
+            values = [
+                self._assignment.get((row_idx, occ_idx), ann)
+                for occ_idx, ann in enumerate(row.occurrences)
+            ]
+            new_rows.append(KExampleRow(row.output, values))
+        return AbstractedKExample(new_rows, example, self._assignment)
+
+    def apply_to_aggregate(
+        self, example: KExample, expression: AggregateExpression
+    ) -> AggregateExpression:
+        """Abstract the annotation side of an aggregate expression.
+
+        Uses the per-variable view of the assignment (aggregate expressions
+        do not carry row/occurrence indexes); requires the assignment to be
+        uniform per variable.
+        """
+        variable_targets: dict[str, str] = {}
+        for (row_idx, occ_idx), target in self._assignment.items():
+            source = example.rows[row_idx].occurrences[occ_idx]
+            existing = variable_targets.get(source)
+            if existing is not None and existing != target:
+                raise AbstractionError(
+                    "aggregate abstraction requires a per-variable-uniform "
+                    f"assignment; {source!r} maps to both {existing!r} and "
+                    f"{target!r}"
+                )
+            variable_targets[source] = target
+        return expression.rename(variable_targets)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AbstractionFunction)
+            and self._assignment == other._assignment
+            and self._tree is other._tree
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._assignment.items())))
+
+    def __repr__(self) -> str:
+        if not self._assignment:
+            return "AbstractionFunction(identity)"
+        parts = [
+            f"{pos}->{label}" for pos, label in sorted(self._assignment.items())
+        ]
+        return "AbstractionFunction(" + ", ".join(parts) + ")"

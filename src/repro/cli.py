@@ -1,0 +1,189 @@
+"""The ``repro`` command-line interface.
+
+Workflow: keep the database as a directory of CSV files (or one JSON file),
+the abstraction tree as JSON, and the query as datalog text; then::
+
+    python -m repro.cli optimize \
+        --database data/ --tree tree.json \
+        --query "Q(id) :- Person(id, n, a), Hobbies(id, 'Dance', s)" \
+        --threshold 2 --rows 2 --output result.json
+
+Subcommands
+-----------
+``optimize``   find the optimal abstraction (Algorithm 2)
+``privacy``    compute the privacy of a K-example / abstraction (Algorithm 1)
+``attack``     list the CIM queries an adversary recovers
+``evaluate``   run a query with provenance tracking
+``show-tree``  pretty-print an abstraction tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.abstraction.function import AbstractionFunction
+from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
+from repro.core.privacy import PrivacyComputer
+from repro.db.database import KDatabase
+from repro.io.csv_io import database_from_csv_dir
+from repro.io.json_io import (
+    abstraction_from_json,
+    database_from_json,
+    dumps,
+    kexample_from_json,
+    result_to_json,
+    tree_from_json,
+)
+from repro.provenance.builder import build_kexample
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_cq
+from repro.render import render_kexample, render_query, render_result, render_tree
+
+
+def _load_database(path_text: str) -> KDatabase:
+    path = Path(path_text)
+    if path.is_dir():
+        return database_from_csv_dir(path)
+    with open(path) as handle:
+        return database_from_json(json.load(handle))
+
+
+def _load_tree(path_text: str):
+    with open(path_text) as handle:
+        return tree_from_json(json.load(handle))
+
+
+def _build_example(args, database: KDatabase):
+    if args.kexample:
+        with open(args.kexample) as handle:
+            return kexample_from_json(json.load(handle), database)
+    query = parse_cq(args.query)
+    return build_kexample(query, database, n_rows=args.rows)
+
+
+def _add_common(parser: argparse.ArgumentParser, with_tree: bool = True) -> None:
+    parser.add_argument("--database", required=True,
+                        help="CSV directory or JSON file")
+    if with_tree:
+        parser.add_argument("--tree", required=True, help="tree JSON file")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--query", help="datalog CQ text")
+    group.add_argument("--kexample", help="K-example JSON file")
+    parser.add_argument("--rows", type=int, default=2,
+                        help="K-example rows when building from a query")
+
+
+def cmd_optimize(args) -> int:
+    database = _load_database(args.database)
+    tree = _load_tree(args.tree)
+    example = _build_example(args, database)
+    config = OptimizerConfig(
+        max_candidates=args.max_candidates, max_seconds=args.max_seconds
+    )
+    result = find_optimal_abstraction(example, tree, args.threshold, config=config)
+    print(render_result(result))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(dumps(result_to_json(result)))
+        print(f"(written to {args.output})")
+    return 0 if result.found else 1
+
+
+def cmd_privacy(args) -> int:
+    database = _load_database(args.database)
+    tree = _load_tree(args.tree)
+    example = _build_example(args, database)
+    if args.abstraction:
+        with open(args.abstraction) as handle:
+            function = abstraction_from_json(json.load(handle), tree, example)
+    else:
+        function = AbstractionFunction.identity(tree, example)
+    abstracted = function.apply(example)
+    computer = PrivacyComputer(tree, database.registry)
+    privacy = computer.privacy(abstracted)
+    print(render_kexample(abstracted))
+    print(f"privacy: {privacy}")
+    return 0
+
+
+def cmd_attack(args) -> int:
+    database = _load_database(args.database)
+    tree = _load_tree(args.tree)
+    example = _build_example(args, database)
+    if args.abstraction:
+        with open(args.abstraction) as handle:
+            function = abstraction_from_json(json.load(handle), tree, example)
+    else:
+        function = AbstractionFunction.identity(tree, example)
+    abstracted = function.apply(example)
+    computer = PrivacyComputer(tree, database.registry)
+    cims = sorted(computer.cim_queries(abstracted), key=repr)
+    print(f"{len(cims)} CIM quer{'y' if len(cims) == 1 else 'ies'}:")
+    for query in cims:
+        print(f"  {render_query(query)}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    database = _load_database(args.database)
+    query = parse_cq(args.query)
+    results = evaluate(query, database)
+    for output, provenance in sorted(results.items(), key=lambda kv: repr(kv[0])):
+        print(f"{output} <- {provenance}")
+    print(f"({len(results)} rows)")
+    return 0
+
+
+def cmd_show_tree(args) -> int:
+    tree = _load_tree(args.tree)
+    print(render_tree(tree, max_children=args.max_children))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="provenance abstraction for query privacy"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_opt = sub.add_parser("optimize", help="find the optimal abstraction")
+    _add_common(p_opt)
+    p_opt.add_argument("--threshold", type=int, required=True)
+    p_opt.add_argument("--max-candidates", type=int, default=None)
+    p_opt.add_argument("--max-seconds", type=float, default=None)
+    p_opt.add_argument("--output", help="write the result JSON here")
+    p_opt.set_defaults(func=cmd_optimize)
+
+    p_priv = sub.add_parser("privacy", help="privacy of a (possibly abstracted) K-example")
+    _add_common(p_priv)
+    p_priv.add_argument("--abstraction", help="abstraction JSON file")
+    p_priv.set_defaults(func=cmd_privacy)
+
+    p_att = sub.add_parser("attack", help="list the recoverable CIM queries")
+    _add_common(p_att)
+    p_att.add_argument("--abstraction", help="abstraction JSON file")
+    p_att.set_defaults(func=cmd_attack)
+
+    p_eval = sub.add_parser("evaluate", help="run a query with provenance")
+    p_eval.add_argument("--database", required=True)
+    p_eval.add_argument("--query", required=True)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_tree = sub.add_parser("show-tree", help="pretty-print a tree JSON file")
+    p_tree.add_argument("--tree", required=True)
+    p_tree.add_argument("--max-children", type=int, default=12)
+    p_tree.set_defaults(func=cmd_show_tree)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,310 @@
+"""Generating consistent queries from a concrete K-example.
+
+This adapts ``FindConsistentQuery`` of Deutch & Gilad (EDBT 2019) as the
+paper prescribes (Section 4.2, bullet 1): instead of returning the first
+consistent query found, enumerate the consistent queries arising from *all*
+alignments ("matchings") between the provenance monomials of the rows.
+
+Construction
+------------
+Fix the first row's monomial as the query *skeleton*: one body atom per
+tuple occurrence ("slot").  For every later row, an *alignment* is a
+relation-name-respecting bijection between the skeleton slots and that
+row's tuple occurrences (for semirings that drop exponents, surjections are
+also allowed — a query atom may reuse a tuple).  A choice of alignment for
+every row yields a value matrix: rows x (slot, column) positions.
+
+Positions with identical value vectors are merged into one term — the
+*most specific* consistent query for that alignment.  A merged class whose
+vector is constant may be a constant or (generalizing) a shared variable;
+we emit the base query plus its constant-to-variable "flip" variants, since
+a flip can connect an otherwise disconnected join graph and thereby become
+a CIM query.  Any consistent query is subsumed by (contains) one of these
+candidates, so privacy counts computed from this set agree with the
+definition while avoiding the full generalization lattice.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+from repro.db.tuples import Tuple
+from repro.provenance.kexample import KExample
+from repro.query.ast import CQ, Atom, Constant, Term, Variable
+from repro.semirings.base import Semiring, SemiringName, get_semiring
+
+
+@dataclass(frozen=True)
+class ConsistencyConfig:
+    """Knobs for consistent-query generation.
+
+    ``max_alignment_combos`` bounds the product of per-row alignments;
+    ``max_flip_classes`` bounds the constant-to-variable flip enumeration
+    (beyond it only the base query, single flips, and the all-flip variant
+    are generated); ``require_variable`` drops fully-ground queries, the
+    paper's trivial-query elimination for the UCQ setting;
+    ``max_tuple_reuse`` allows a skeleton slot multiset to repeat a tuple
+    when the semiring hides exponents (Table 4, red cells).
+    """
+
+    head_name: str = "Q"
+    semiring: SemiringName = SemiringName.NX
+    max_alignment_combos: int = 20_000
+    max_flip_classes: int = 12
+    require_variable: bool = False
+    max_tuple_reuse: int = 1
+
+    def semiring_ops(self) -> Semiring:
+        return get_semiring(self.semiring)
+
+
+def consistent_queries(
+    example: KExample,
+    config: ConsistencyConfig | None = None,
+) -> frozenset[CQ]:
+    """The candidate consistent queries w.r.t. a concrete K-example.
+
+    Returns the most-specific consistent query of every alignment together
+    with its constant-flip variants, deduplicated up to isomorphism.  Every
+    CIM query of the example is contained in this set (see module docs).
+    """
+    config = config or ConsistencyConfig()
+    out: dict[tuple, CQ] = {}
+    for query in _generate(example, config):
+        if config.require_variable and not query.variables():
+            continue
+        out.setdefault(query.canonical(), query)
+    return frozenset(out.values())
+
+
+def _generate(example: KExample, config: ConsistencyConfig) -> Iterator[CQ]:
+    rows = example.rows
+    drops_exponents = config.semiring_ops().drops_exponents()
+
+    for skeleton in _skeletons(example, config, drops_exponents):
+        per_row_alignments: list[list[tuple[Tuple, ...]]] = []
+        feasible = True
+        for row_index in range(1, len(rows)):
+            row_tuples = [
+                example.tuple_of(ann) for ann in rows[row_index].occurrences
+            ]
+            alignments = list(
+                _alignments(skeleton, row_tuples, drops_exponents)
+            )
+            if not alignments:
+                feasible = False
+                break
+            per_row_alignments.append(alignments)
+        if not feasible:
+            continue
+
+        combos = itertools.product(*per_row_alignments)
+        for combo_index, combo in enumerate(combos):
+            if combo_index >= config.max_alignment_combos:
+                break
+            matrix = [skeleton, *combo]
+            yield from _queries_from_matrix(example, matrix, config)
+
+
+def _skeletons(
+    example: KExample,
+    config: ConsistencyConfig,
+    drops_exponents: bool,
+) -> Iterator[tuple[Tuple, ...]]:
+    """Candidate skeleton slot lists derived from the first row.
+
+    Without exponent information the query may use a tuple more times than
+    the (set-valued) provenance shows, so slots may be duplicated up to
+    ``max_tuple_reuse`` times each.
+    """
+    base = tuple(example.tuple_of(ann) for ann in example.rows[0].occurrences)
+    yield base
+    if not drops_exponents or config.max_tuple_reuse <= 1:
+        return
+    distinct = list(dict.fromkeys(base))
+    reuse_options = range(1, config.max_tuple_reuse + 1)
+    for counts in itertools.product(reuse_options, repeat=len(distinct)):
+        if all(c == 1 for c in counts):
+            continue  # already yielded as ``base``
+        expanded: list[Tuple] = []
+        for tup, count in zip(distinct, counts):
+            expanded.extend([tup] * count)
+        yield tuple(expanded)
+
+
+def _alignments(
+    skeleton: tuple[Tuple, ...],
+    row_tuples: list[Tuple],
+    drops_exponents: bool,
+) -> Iterator[tuple[Tuple, ...]]:
+    """Assignments of one tuple of the row to every skeleton slot.
+
+    With visible exponents this must be a multiset bijection per relation
+    name; without, any relation-respecting surjection onto the row's
+    distinct tuples is allowed.
+    """
+    slots_by_relation: dict[str, list[int]] = {}
+    for index, tup in enumerate(skeleton):
+        slots_by_relation.setdefault(tup.relation, []).append(index)
+    tuples_by_relation: dict[str, list[Tuple]] = {}
+    for tup in row_tuples:
+        tuples_by_relation.setdefault(tup.relation, []).append(tup)
+
+    if set(slots_by_relation) != set(tuples_by_relation):
+        return
+
+    per_relation_choices: list[list[dict[int, Tuple]]] = []
+    for relation, slot_indexes in slots_by_relation.items():
+        candidates = tuples_by_relation[relation]
+        if drops_exponents:
+            distinct = list(dict.fromkeys(candidates))
+            choices = _surjective_assignments(slot_indexes, distinct)
+        else:
+            if len(candidates) != len(slot_indexes):
+                return
+            choices = [
+                dict(zip(slot_indexes, perm))
+                for perm in _distinct_permutations(candidates)
+            ]
+        if not choices:
+            return
+        per_relation_choices.append(choices)
+
+    for combo in itertools.product(*per_relation_choices):
+        assignment: dict[int, Tuple] = {}
+        for mapping in combo:
+            assignment.update(mapping)
+        yield tuple(assignment[i] for i in range(len(skeleton)))
+
+
+def _distinct_permutations(items: list[Tuple]) -> Iterator[tuple[Tuple, ...]]:
+    """Permutations of a multiset without duplicates."""
+    seen: set[tuple[Tuple, ...]] = set()
+    for perm in itertools.permutations(items):
+        if perm not in seen:
+            seen.add(perm)
+            yield perm
+
+
+def _surjective_assignments(
+    slot_indexes: list[int], targets: list[Tuple]
+) -> list[dict[int, Tuple]]:
+    """All slot->tuple maps using every target at least once."""
+    if len(targets) > len(slot_indexes):
+        return []
+    out = []
+    for combo in itertools.product(targets, repeat=len(slot_indexes)):
+        if set(combo) == set(targets):
+            out.append(dict(zip(slot_indexes, combo)))
+    return out
+
+
+def _queries_from_matrix(
+    example: KExample,
+    matrix: list[tuple[Tuple, ...]],
+    config: ConsistencyConfig,
+) -> Iterator[CQ]:
+    """Most-specific query and flip variants for one alignment matrix."""
+    n_slots = len(matrix[0])
+
+    # Group positions (slot, column) by their cross-row value vectors.
+    classes: dict[tuple, list[tuple[int, int]]] = {}
+    for slot in range(n_slots):
+        arity = matrix[0][slot].arity
+        for col in range(arity):
+            vector = tuple(matrix[row][slot].values[col] for row in range(len(matrix)))
+            classes.setdefault(vector, []).append((slot, col))
+
+    vectors = list(classes)
+    constant_classes = [
+        idx for idx, vec in enumerate(vectors) if len(set(vec)) == 1
+    ]
+
+    # Resolve head terms: each output column needs a class with the exact
+    # output vector, or a constant column.
+    head_specs: list[tuple[str, object]] = []
+    n_out = len(example.rows[0].output)
+    for col in range(n_out):
+        out_vector = tuple(example.rows[row].output[col] for row in range(len(matrix)))
+        if out_vector in classes:
+            head_specs.append(("class", vectors.index(out_vector)))
+        elif len(set(out_vector)) == 1:
+            head_specs.append(("const", out_vector[0]))
+        else:
+            return  # this alignment cannot produce the outputs
+
+    for flips in _flip_subsets(constant_classes, config.max_flip_classes):
+        terms: list[Term] = []
+        for idx, vec in enumerate(vectors):
+            if idx in constant_classes and idx not in flips:
+                terms.append(Constant(vec[0]))
+            else:
+                terms.append(Variable(f"x{idx}"))
+
+        body = []
+        position_term: dict[tuple[int, int], Term] = {}
+        for idx, positions in enumerate(classes.values()):
+            for pos in positions:
+                position_term[pos] = terms[idx]
+        for slot in range(n_slots):
+            arity = matrix[0][slot].arity
+            body.append(
+                Atom(
+                    matrix[0][slot].relation,
+                    [position_term[(slot, col)] for col in range(arity)],
+                )
+            )
+
+        head_terms: list[Term] = []
+        for kind, value in head_specs:
+            if kind == "class":
+                head_terms.append(terms[value])  # type: ignore[index]
+            else:
+                head_terms.append(Constant(value))
+        yield CQ(Atom(config.head_name, head_terms), body)
+
+
+def _flip_subsets(
+    constant_classes: list[int], max_flip_classes: int
+) -> Iterator[frozenset[int]]:
+    """Subsets of constant classes to generalize into shared variables.
+
+    Exhaustive up to ``max_flip_classes`` constant classes; beyond that,
+    falls back to the empty set, singletons, and the full set (a heuristic
+    that still reaches both extremes of the flip lattice).
+    """
+    if len(constant_classes) <= max_flip_classes:
+        for size in range(len(constant_classes) + 1):
+            for combo in itertools.combinations(constant_classes, size):
+                yield frozenset(combo)
+        return
+    yield frozenset()
+    for idx in constant_classes:
+        yield frozenset((idx,))
+    yield frozenset(constant_classes)
+
+
+def trivial_union_query(
+    example: KExample, head_name: str = "Q"
+) -> "object":
+    """The trivial UCQ the paper rules out (Section 3.3).
+
+    One fully-ground CQ per row: the union of the rows' own tuples.  It is
+    consistent and (vacuously) connected under the UCQ definition, but it
+    "does not generalize the K-example"; Algorithm 1's UCQ variant
+    disqualifies such queries — our generator's ``require_variable`` flag
+    implements the same rule (every CIM query must have a variable).
+    """
+    from repro.query.ast import UCQ
+
+    disjuncts = []
+    for row in example.rows:
+        atoms = []
+        for ann in row.occurrences:
+            tup = example.tuple_of(ann)
+            atoms.append(Atom(tup.relation, [Constant(v) for v in tup.values]))
+        head = Atom(head_name, [Constant(v) for v in row.output])
+        disjuncts.append(CQ(head, atoms))
+    return UCQ(disjuncts)

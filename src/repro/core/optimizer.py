@@ -1,0 +1,265 @@
+"""Finding optimal abstractions: Algorithm 2 of the paper.
+
+Given a K-example, an abstraction tree, and a privacy threshold ``k``,
+find the abstraction function with privacy >= k minimizing the loss of
+information.  The search realizes the paper's two search-side optimizations
+(Section 4.1), each switchable for the Figure 19 ablation:
+
+* *Sorting abstractions* — candidates are visited in non-decreasing order
+  of the number of tree edges they use (ties broken by LOI).  Implemented
+  lazily with a uniform-cost frontier over per-variable ancestor levels so
+  the ``(h+1)^n`` space is never materialized.
+* *LOI before privacy* — the cheap LOI computation gates the expensive
+  privacy computation: privacy is only computed when the candidate's LOI
+  beats the incumbent.
+
+Additionally, for monotone distributions (uniform), successors of a
+candidate whose LOI already reached the incumbent are pruned: abstracting
+any variable higher can only raise LOI further, so the entire upward cone
+is dominated.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.abstraction.function import AbstractionFunction
+from repro.abstraction.tree import AbstractionTree
+from repro.core.loi import UniformDistribution, loss_of_information
+from repro.core.privacy import PrivacyComputer, PrivacyConfig
+from repro.errors import OptimizationError
+from repro.provenance.kexample import AbstractedKExample, KExample
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Switches and budgets for Algorithm 2."""
+
+    sort_abstractions: bool = True
+    loi_first: bool = True
+    prune_dominated: bool = True
+    max_candidates: Optional[int] = None
+    # Wall-clock budget for one search; the best abstraction found so far
+    # is returned when it runs out (None = unbounded, as in the paper).
+    max_seconds: Optional[float] = None
+    privacy: PrivacyConfig = field(default_factory=PrivacyConfig)
+
+
+@dataclass
+class OptimizerStats:
+    """Search effort counters."""
+
+    candidates_scanned: int = 0
+    privacy_computations: int = 0
+    privacy_budget_exhausted: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class OptimalAbstractionResult:
+    """The outcome of an optimal-abstraction search.
+
+    ``function`` is ``None`` when no abstraction meets the threshold within
+    the candidate budget.
+    """
+
+    function: Optional[AbstractionFunction]
+    abstracted: Optional[AbstractedKExample]
+    privacy: int
+    loi: float
+    edges_used: int
+    stats: OptimizerStats
+
+    @property
+    def found(self) -> bool:
+        return self.function is not None
+
+
+class _SortedFrontier:
+    """Lazy best-first enumeration of per-variable ancestor-level vectors.
+
+    States are vectors assigning each abstractable variable a level in its
+    ancestor chain (0 = itself).  Order: total edge count, then a uniform
+    LOI estimate.  ``expand`` pushes a state's successors; the caller skips
+    expanding dominated states to prune their upward cones.
+    """
+
+    def __init__(self, variables, chains, tree, occurrence_count):
+        self._variables = variables
+        self._chains = chains
+        self._tree = tree
+        self._occurrences = occurrence_count
+        self._counter = itertools.count()
+        start = tuple(0 for _ in variables)
+        self._heap = [(0, 0.0, next(self._counter), start)]
+        self._seen = {start}
+
+    def _loi_estimate(self, levels: tuple[int, ...]) -> float:
+        total = 0.0
+        for var, level in zip(self._variables, levels):
+            if level:
+                target = self._chains[var][level]
+                total += self._occurrences[var] * math.log(
+                    self._tree.leaf_count(target)
+                )
+        return total
+
+    def pop(self) -> Optional[tuple[int, ...]]:
+        if not self._heap:
+            return None
+        _, _, _, levels = heapq.heappop(self._heap)
+        return levels
+
+    def expand(self, levels: tuple[int, ...]) -> None:
+        cost = sum(levels)
+        for index, var in enumerate(self._variables):
+            if levels[index] + 1 < len(self._chains[var]):
+                succ = levels[:index] + (levels[index] + 1,) + levels[index + 1:]
+                if succ not in self._seen:
+                    self._seen.add(succ)
+                    heapq.heappush(
+                        self._heap,
+                        (cost + 1, self._loi_estimate(succ),
+                         next(self._counter), succ),
+                    )
+
+
+def _unsorted_candidates(variables, chains) -> Iterator[tuple[int, ...]]:
+    ranges = [range(len(chains[v])) for v in variables]
+    yield from itertools.product(*ranges)
+
+
+def find_optimal_abstraction(
+    example: KExample,
+    tree: AbstractionTree,
+    threshold: int,
+    config: OptimizerConfig | None = None,
+    distribution=None,
+) -> OptimalAbstractionResult:
+    """Algorithm 2: the minimum-LOI abstraction with privacy >= ``threshold``."""
+    config = config or OptimizerConfig()
+    if not tree.is_compatible_with_annotations(example.registry.annotations()):
+        raise OptimizationError(
+            "abstraction tree is incompatible with the K-example "
+            "(an inner label collides with a tuple annotation)"
+        )
+
+    computer = PrivacyComputer(tree, example.registry, config.privacy)
+    dist = distribution or UniformDistribution()
+    prune = (
+        config.prune_dominated
+        and config.sort_abstractions
+        and isinstance(dist, UniformDistribution)
+    )
+
+    variables = sorted(
+        v for v in example.variables()
+        if v in tree.labels() and tree.is_leaf(v)
+    )
+    chains = {v: tree.ancestors(v) for v in variables}
+    occurrence_count = _occurrence_counts(example, variables)
+
+    stats = OptimizerStats()
+    start_time = time.perf_counter()
+
+    best: Optional[AbstractionFunction] = None
+    best_abstracted: Optional[AbstractedKExample] = None
+    best_privacy = -1
+    best_loi = math.inf
+
+    frontier: Optional[_SortedFrontier] = None
+    plain: Optional[Iterator[tuple[int, ...]]] = None
+    if config.sort_abstractions and variables:
+        frontier = _SortedFrontier(variables, chains, tree, occurrence_count)
+    else:
+        plain = _unsorted_candidates(variables, chains)
+
+    while True:
+        if frontier is not None:
+            levels = frontier.pop()
+            if levels is None:
+                break
+        else:
+            assert plain is not None
+            levels = next(plain, None)
+            if levels is None:
+                break
+
+        stats.candidates_scanned += 1
+        if (
+            config.max_candidates is not None
+            and stats.candidates_scanned > config.max_candidates
+        ):
+            break
+        if (
+            config.max_seconds is not None
+            and time.perf_counter() - start_time > config.max_seconds
+        ):
+            break
+
+        function = _function_for_levels(tree, example, variables, chains, levels)
+        abstracted = function.apply(example)
+        loi = loss_of_information(abstracted, tree, dist)
+
+        dominated = loi >= best_loi
+        if config.loi_first and dominated:
+            if frontier is not None and not prune:
+                frontier.expand(levels)
+            continue
+
+        if config.loi_first or not dominated:
+            stats.privacy_computations += 1
+            try:
+                privacy = computer.compute(abstracted, threshold)
+            except OptimizationError:
+                # Concretization budget exhausted: the abstraction is too
+                # coarse to evaluate; skip it (its refinements are coarser
+                # still, but siblings may be fine, so keep expanding).
+                stats.privacy_budget_exhausted += 1
+                privacy = -1
+            if privacy >= threshold and loi < best_loi:
+                best, best_abstracted = function, abstracted
+                best_privacy, best_loi = privacy, loi
+        else:
+            # loi_first disabled: pay for privacy even on dominated states.
+            stats.privacy_computations += 1
+            try:
+                computer.compute(abstracted, threshold)
+            except OptimizationError:
+                stats.privacy_budget_exhausted += 1
+
+        if frontier is not None:
+            frontier.expand(levels)
+
+    stats.elapsed_seconds = time.perf_counter() - start_time
+    edges = best.edges_used(example) if best is not None else 0
+    return OptimalAbstractionResult(
+        function=best,
+        abstracted=best_abstracted,
+        privacy=best_privacy,
+        loi=best_loi if best is not None else math.inf,
+        edges_used=edges,
+        stats=stats,
+    )
+
+
+def _function_for_levels(tree, example, variables, chains, levels):
+    targets = {}
+    for var, level in zip(variables, levels):
+        if level:
+            targets[var] = chains[var][level]
+    return AbstractionFunction.uniform(tree, example, targets)
+
+
+def _occurrence_counts(example: KExample, variables) -> dict[str, int]:
+    counts = {v: 0 for v in variables}
+    for row in example.rows:
+        for ann in row.occurrences:
+            if ann in counts:
+                counts[ann] += 1
+    return counts

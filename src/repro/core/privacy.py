@@ -1,0 +1,251 @@
+"""Privacy of an abstracted K-example: Algorithm 1 of the paper.
+
+The privacy of ``Ex~`` is the number of distinct CIM queries — consistent,
+connected, inclusion-minimal — across all concretizations (Definition
+3.12).  :class:`PrivacyComputer` implements Algorithm 1 with its four
+optimizations, each independently switchable for the Figure 19 ablation:
+
+* row-by-row computation with ``GoodConc`` propagation,
+* filtering disconnected concretizations,
+* caching consistent queries per concretization prefix,
+* caching concretization connectivity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.abstraction.concretization import ConcretizationEngine
+from repro.abstraction.tree import AbstractionTree
+from repro.core.consistency import ConsistencyConfig, consistent_queries
+from repro.db.database import AnnotationRegistry
+from repro.provenance.kexample import AbstractedKExample, KExample, KExampleRow
+from repro.query.ast import CQ
+from repro.query.containment import is_strictly_contained_in
+from repro.errors import OptimizationError
+from repro.query.join_graph import is_connected
+
+
+@dataclass(frozen=True)
+class PrivacyConfig:
+    """Optimization switches for Algorithm 1 (Section 4.1)."""
+
+    row_by_row: bool = True
+    connectivity_filter: bool = True
+    cache_queries: bool = True
+    cache_connectivity: bool = True
+    consistency: ConsistencyConfig = field(default_factory=ConsistencyConfig)
+    # Safety valve: stop if a single abstraction spawns this many
+    # concretization prefixes (the paper's settings stay far below).
+    max_concretizations: int = 200_000
+
+
+@dataclass
+class PrivacyStats:
+    """Counters for the ablation study."""
+
+    concretizations_seen: int = 0
+    concretizations_pruned_disconnected: int = 0
+    query_cache_hits: int = 0
+    query_cache_misses: int = 0
+    consistency_calls: int = 0
+
+
+class PrivacyComputer:
+    """Computes the privacy of abstracted K-examples over one tree."""
+
+    def __init__(
+        self,
+        tree: AbstractionTree,
+        registry: AnnotationRegistry,
+        config: PrivacyConfig | None = None,
+    ):
+        self._tree = tree
+        self._registry = registry
+        self._config = config or PrivacyConfig()
+        self._engine = ConcretizationEngine(
+            tree, registry, use_connectivity_cache=self._config.cache_connectivity
+        )
+        self._query_cache: dict[tuple, frozenset[CQ]] = {}
+        self.stats = PrivacyStats()
+
+    @property
+    def config(self) -> PrivacyConfig:
+        return self._config
+
+    @property
+    def engine(self) -> ConcretizationEngine:
+        return self._engine
+
+    def compute(self, abstracted: AbstractedKExample, threshold: int) -> int:
+        """Algorithm 1: the privacy of ``abstracted`` or -1 if below ``threshold``."""
+        if self._config.row_by_row:
+            return self._compute_row_by_row(abstracted, threshold)
+        return self._compute_monolithic(abstracted, threshold)
+
+    def privacy(self, abstracted: AbstractedKExample) -> int:
+        """The exact privacy (no threshold early-exit)."""
+        result = self.compute(abstracted, threshold=0)
+        return max(result, 0)
+
+    def cim_queries(self, abstracted: AbstractedKExample) -> frozenset[CQ]:
+        """The CIM queries w.r.t. ``abstracted`` (Definition 3.10)."""
+        connected = self._connected_queries_full(abstracted)
+        return _minimal_queries(connected)
+
+    # -- Algorithm 1 proper -------------------------------------------------
+
+    def _compute_row_by_row(
+        self, abstracted: AbstractedKExample, threshold: int
+    ) -> int:
+        rows = abstracted.rows
+        first_row_options = self._row_options(rows[0])
+        if not first_row_options:
+            return -1 if threshold > 0 else 0
+
+        # GoodConc: concrete prefixes that admit a consistent connected query.
+        good_prefixes: list[tuple[KExampleRow, ...]] = [
+            (row,) for row in first_row_options
+        ]
+        queries: dict[tuple, CQ] = {}
+
+        if len(rows) == 1:
+            queries = self._queries_for_prefixes(good_prefixes)[0]
+            return self._finish(queries, threshold)
+
+        for index in range(1, len(rows)):
+            next_options = self._row_options(rows[index])
+            if not next_options:
+                return -1 if threshold > 0 else 0
+            prefixes = []
+            for prefix in good_prefixes:
+                for option in next_options:
+                    prefixes.append(prefix + (option,))
+                    if len(prefixes) > self._config.max_concretizations:
+                        raise OptimizationError(
+                            "concretization budget exhausted; tighten the "
+                            "abstraction or raise max_concretizations"
+                        )
+            queries, prefix_of_query = self._queries_for_prefixes(prefixes)
+
+            connected = {
+                key: q for key, q in queries.items() if is_connected(q)
+            }
+            if len(connected) < threshold:
+                return -1
+
+            good_set: set[tuple[KExampleRow, ...]] = set()
+            for key in connected:
+                good_set.update(prefix_of_query[key])
+            good_prefixes = sorted(
+                good_set, key=lambda p: tuple(r.occurrences for r in p)
+            )
+
+            cim = _minimal_queries(frozenset(connected.values()))
+            if len(cim) < threshold:
+                return -1
+            if index == len(rows) - 1:
+                return len(cim)
+
+        raise AssertionError("unreachable")
+
+    def _compute_monolithic(
+        self, abstracted: AbstractedKExample, threshold: int
+    ) -> int:
+        connected = self._connected_queries_full(abstracted)
+        if len(connected) < threshold:
+            return -1
+        cim = _minimal_queries(connected)
+        return len(cim) if len(cim) >= threshold else -1
+
+    def _connected_queries_full(
+        self, abstracted: AbstractedKExample
+    ) -> frozenset[CQ]:
+        per_row_options = [self._row_options(row) for row in abstracted.rows]
+        if any(not options for options in per_row_options):
+            return frozenset()
+        out: dict[tuple, CQ] = {}
+        count = 0
+        for combo in itertools.product(*per_row_options):
+            count += 1
+            if count > self._config.max_concretizations:
+                raise OptimizationError(
+                    "concretization budget exhausted; tighten the "
+                    "abstraction or raise max_concretizations"
+                )
+            for query in self._queries_of_prefix(combo):
+                if is_connected(query):
+                    out.setdefault(query.canonical(), query)
+        return frozenset(out.values())
+
+    # -- helpers --------------------------------------------------------------
+
+    def _row_options(self, row: KExampleRow) -> list[KExampleRow]:
+        options = []
+        for count, option in enumerate(self._engine.concretize_row(row)):
+            if count >= self._config.max_concretizations:
+                raise OptimizationError(
+                    "per-row concretization budget exhausted; tighten the "
+                    "abstraction or raise max_concretizations"
+                )
+            options.append(option)
+        self.stats.concretizations_seen += len(options)
+        if self._config.connectivity_filter:
+            kept = [r for r in options if self._engine.row_connected(r)]
+            self.stats.concretizations_pruned_disconnected += (
+                len(options) - len(kept)
+            )
+            return kept
+        return options
+
+    def _queries_for_prefixes(
+        self, prefixes: list[tuple[KExampleRow, ...]]
+    ) -> tuple[dict[tuple, CQ], dict[tuple, list[tuple[KExampleRow, ...]]]]:
+        """Consistent queries of each prefix, plus the inverse map."""
+        queries: dict[tuple, CQ] = {}
+        prefix_of_query: dict[tuple, list[tuple[KExampleRow, ...]]] = {}
+        for prefix in prefixes:
+            for query in self._queries_of_prefix(prefix):
+                key = query.canonical()
+                queries.setdefault(key, query)
+                prefix_of_query.setdefault(key, []).append(prefix)
+        return queries, prefix_of_query
+
+    def _queries_of_prefix(
+        self, prefix: tuple[KExampleRow, ...]
+    ) -> frozenset[CQ]:
+        key = tuple((row.output, row.occurrences) for row in prefix)
+        if self._config.cache_queries:
+            cached = self._query_cache.get(key)
+            if cached is not None:
+                self.stats.query_cache_hits += 1
+                return cached
+        self.stats.consistency_calls += 1
+        example = KExample(prefix, self._registry)
+        result = consistent_queries(example, self._config.consistency)
+        if self._config.cache_queries:
+            self.stats.query_cache_misses += 1
+            self._query_cache[key] = result
+        return result
+
+    def _finish(self, queries: dict[tuple, CQ], threshold: int) -> int:
+        connected = frozenset(q for q in queries.values() if is_connected(q))
+        if len(connected) < threshold:
+            return -1
+        cim = _minimal_queries(connected)
+        return len(cim) if len(cim) >= threshold else -1
+
+
+def _minimal_queries(queries: frozenset[CQ]) -> frozenset[CQ]:
+    """The inclusion-minimal queries of a set (GetMinimalQueries).
+
+    ``q`` survives iff no other query in the set is strictly contained in it.
+    """
+    ordered = sorted(queries, key=lambda q: (len(q.body), repr(q)))
+    minimal: list[CQ] = []
+    for query in ordered:
+        if not any(is_strictly_contained_in(other, query) for other in ordered
+                   if other is not query):
+            minimal.append(query)
+    return frozenset(minimal)

@@ -1,0 +1,25 @@
+"""Workload substrates: TPC-H and IMDB-style generators and the paper's queries."""
+
+from repro.datasets.tpch import TPCH_SCHEMA, generate_tpch
+from repro.datasets.imdb import IMDB_SCHEMA, generate_imdb
+from repro.datasets.queries import (
+    IMDB_QUERIES,
+    TPCH_QUERIES,
+    all_queries,
+    get_query,
+    join_variants,
+    query_stats,
+)
+
+__all__ = [
+    "IMDB_QUERIES",
+    "IMDB_SCHEMA",
+    "TPCH_QUERIES",
+    "TPCH_SCHEMA",
+    "all_queries",
+    "generate_imdb",
+    "generate_tpch",
+    "get_query",
+    "join_variants",
+    "query_stats",
+]

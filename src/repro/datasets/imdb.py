@@ -1,0 +1,131 @@
+"""A deterministic IMDB-shaped dataset generator.
+
+The paper uses the public IMDB dumps; those are not bundled offline, so
+this module synthesizes a database with the same shape: people (actors and
+directors) with birth years and countries, movies with release years,
+genres, cast and direction edges.  The generator plants the specific
+patterns the paper's IMDB queries Q1-Q7 look for (Kevin Bacon co-stars,
+Tom Cruise movies, directors with both an action and a comedy movie,
+actors born in 1978 in comedies, movies from 1995) so every query has
+results at any scale.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.database import KDatabase
+from repro.db.schema import Schema
+
+IMDB_SCHEMA = Schema.from_dict({
+    "person": ["pid", "name", "birthyear", "country"],
+    "movie": ["mid", "title", "year"],
+    "casts": ["pid", "mid"],
+    "directs": ["pid", "mid"],
+    "genre": ["mid", "genrename"],
+})
+
+_GENRES = ["Action", "Comedy", "Drama", "Thriller", "Romance", "Horror", "Sci-Fi"]
+_COUNTRIES = ["USA", "UK", "France", "Germany", "India", "Japan", "Canada"]
+
+_PERSON_BASE = 100_000
+_MOVIE_BASE = 500_000
+
+
+def generate_imdb(
+    n_people: int = 120,
+    n_movies: int = 80,
+    seed: int = 0,
+) -> KDatabase:
+    """Generate an IMDB-style K-database with the paper's query patterns.
+
+    Annotations: ``a<pid>`` for people, ``m<mid>`` for movies, ``g<mid>_<i>``
+    for genre rows, ``ci<pid>_<mid>`` for cast edges, ``d<pid>_<mid>`` for
+    direction edges.
+    """
+    rng = random.Random(seed)
+    db = KDatabase(IMDB_SCHEMA)
+
+    def add_person(index: int, name: str, birthyear: int, country: str) -> int:
+        pid = _PERSON_BASE + index
+        db.insert("person", (pid, name, birthyear, country), f"a{pid}")
+        return pid
+
+    def add_movie(index: int, title: str, year: int, genres: list[str]) -> int:
+        mid = _MOVIE_BASE + index
+        db.insert("movie", (mid, title, year), f"m{mid}")
+        for g_index, genre in enumerate(genres):
+            db.insert("genre", (mid, genre), f"g{mid}_{g_index}")
+        return mid
+
+    cast_pairs: set[tuple[int, int]] = set()
+    direct_pairs: set[tuple[int, int]] = set()
+
+    def cast(pid: int, mid: int) -> None:
+        if (pid, mid) not in cast_pairs:
+            cast_pairs.add((pid, mid))
+            db.insert("casts", (pid, mid), f"ci{pid}_{mid}")
+
+    def direct(pid: int, mid: int) -> None:
+        if (pid, mid) not in direct_pairs:
+            direct_pairs.add((pid, mid))
+            db.insert("directs", (pid, mid), f"d{pid}_{mid}")
+
+    # Celebrity anchors referenced by Q3 and Q6.
+    kevin = add_person(0, "Kevin Bacon", 1958, "USA")
+    tom = add_person(1, "Tom Cruise", 1962, "USA")
+
+    people = [kevin, tom]
+    for i in range(2, n_people):
+        birthyear = rng.choice(
+            # Over-represent 1978 so Q5 always has matches.
+            [1978] * 3 + list(range(1930, 2001, 2))
+        )
+        people.append(
+            add_person(i, f"Person {i}", birthyear, rng.choice(_COUNTRIES))
+        )
+
+    movies = []
+    for i in range(n_movies):
+        year = rng.choice([1995] * 6 + list(range(1960, 2021)))
+        genres = rng.sample(_GENRES, rng.randint(1, 2))
+        movies.append(add_movie(i, f"Movie {i}", year, genres))
+
+    # Dense enough casting so joins succeed at small scale.
+    for mid in movies:
+        for pid in rng.sample(people, min(len(people), rng.randint(2, 5))):
+            cast(pid, mid)
+        director = rng.choice(people)
+        direct(director, mid)
+
+    # Planted patterns:
+    # Q3 — Kevin Bacon co-stars in several movies.
+    for mid in rng.sample(movies, min(6, len(movies))):
+        cast(kevin, mid)
+
+    # Q6 — Tom Cruise stars in several (directed) movies.
+    for mid in rng.sample(movies, min(6, len(movies))):
+        cast(tom, mid)
+
+    # Q4 — a few directors with both an Action and a Comedy movie.
+    action_movies = [
+        mid for mid in movies
+        if any(t.values[1] == "Action" for t in db.relation("genre").matching({0: mid}))
+    ]
+    comedy_movies = [
+        mid for mid in movies
+        if any(t.values[1] == "Comedy" for t in db.relation("genre").matching({0: mid}))
+    ]
+    for director in rng.sample(people, min(8, len(people))):
+        if action_movies and comedy_movies:
+            direct(director, rng.choice(action_movies))
+            direct(director, rng.choice(comedy_movies))
+
+    # Q7 — a few actors in two distinct action movies.
+    if len(action_movies) >= 2:
+        for actor in rng.sample(people, min(8, len(people))):
+            m1, m2 = rng.sample(action_movies, 2)
+            cast(actor, m1)
+            cast(actor, m2)
+
+    return db

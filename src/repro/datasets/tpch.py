@@ -1,0 +1,245 @@
+"""A deterministic, scaled-down TPC-H data generator.
+
+Generates the eight TPC-H relations with the columns the paper's CQ-adapted
+query workload touches.  The paper samples a 1 GB instance; the algorithms
+only ever see a K-example (a handful of annotated tuples) plus an
+abstraction tree, so a small in-process instance with the same join
+structure preserves every behaviour the experiments measure (see the
+substitution notes in DESIGN.md).
+
+Key ranges are offset into disjoint bands (customers 10000+, orders
+20000+, parts 30000+, suppliers 40000+) so value collisions between
+unrelated columns — which would add accidental join edges to generated
+consistent queries — are rare, as they are at full TPC-H scale.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.database import KDatabase
+from repro.db.schema import Schema
+
+TPCH_SCHEMA = Schema.from_dict({
+    "region": ["regionkey", "name"],
+    "nation": ["nationkey", "name", "regionkey"],
+    "supplier": ["suppkey", "name", "nationkey", "acctbal"],
+    "part": ["partkey", "name", "brand", "type"],
+    "partsupp": ["partkey", "suppkey", "supplycost"],
+    "customer": ["custkey", "name", "nationkey", "mktsegment", "acctbal"],
+    "orders": ["orderkey", "custkey", "orderstatus", "orderdate", "orderpriority"],
+    "lineitem": ["orderkey", "partkey", "suppkey", "quantity", "extendedprice",
+                 "returnflag", "shipdate"],
+})
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+_TYPES = [
+    f"{a} {b} {c}"
+    for a in ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+    for b in ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+    for c in ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+]
+_FLAGS = ["R", "A", "N"]
+_STATUS = ["O", "F", "P"]
+
+# Disjoint key bands so unrelated columns rarely share values.
+_CUST_BASE = 10_000
+_ORDER_BASE = 20_000
+_PART_BASE = 30_000
+_SUPP_BASE = 40_000
+
+
+def generate_tpch(scale: float = 0.01, seed: int = 0) -> KDatabase:
+    """Generate a TPC-H K-database.
+
+    ``scale`` mirrors the TPC-H scale factor proportionally: at 1.0 the
+    instance has 1500 customers, 15000 orders, and ~60000 lineitems (a
+    1000x-reduced 1 GB shape); the default 0.01 yields a few hundred
+    tuples, enough to drive every query in the workload.  Annotations
+    follow dbgen conventions (``c<k>``, ``o<k>``, ``l<k>_<n>``, ...).
+    """
+    rng = random.Random(seed)
+    db = KDatabase(TPCH_SCHEMA)
+
+    n_customers = max(10, int(1500 * scale))
+    n_orders = max(20, int(15000 * scale))
+    n_parts = max(8, int(2000 * scale))
+    n_suppliers = max(4, int(100 * scale))
+    max_lines_per_order = 4
+
+    for key, name in enumerate(_REGIONS):
+        db.insert("region", (key, name), f"r{key}")
+    for key, (name, region) in enumerate(_NATIONS):
+        db.insert("nation", (key, name, region), f"n{key}")
+
+    for i in range(n_suppliers):
+        key = _SUPP_BASE + i
+        db.insert(
+            "supplier",
+            (key, f"Supplier#{key}", rng.randrange(len(_NATIONS)),
+             500 * rng.randrange(2, 20)),
+            f"s{key}",
+        )
+
+    for i in range(n_parts):
+        key = _PART_BASE + i
+        db.insert(
+            "part",
+            (key, f"Part#{key}", rng.choice(_BRANDS), rng.choice(_TYPES)),
+            f"p{key}",
+        )
+        for j in range(rng.randint(1, 2)):
+            supp = _SUPP_BASE + rng.randrange(n_suppliers)
+            annotation = f"ps{key}_{j}"
+            db.insert("partsupp", (key, supp, 50 * rng.randrange(2, 20)),
+                      annotation)
+
+    for i in range(n_customers):
+        key = _CUST_BASE + i
+        db.insert(
+            "customer",
+            (key, f"Customer#{key}", rng.randrange(len(_NATIONS)),
+             rng.choice(_SEGMENTS), 500 * rng.randrange(2, 20)),
+            f"c{key}",
+        )
+
+    for i in range(n_orders):
+        key = _ORDER_BASE + i
+        cust = _CUST_BASE + rng.randrange(n_customers)
+        date = 19_920_101 + rng.randrange(0, 70_000)
+        db.insert(
+            "orders",
+            (key, cust, rng.choice(_STATUS), date, rng.choice(_PRIORITIES)),
+            f"o{key}",
+        )
+        for line in range(rng.randint(2, max_lines_per_order)):
+            part = _PART_BASE + rng.randrange(n_parts)
+            supp = _SUPP_BASE + rng.randrange(n_suppliers)
+            db.insert(
+                "lineitem",
+                (key, part, supp, rng.randint(1, 25),
+                 1_000 * rng.randrange(90, 100), rng.choice(_FLAGS),
+                 date + 10 * rng.randint(1, 9)),
+                f"l{key}_{line}",
+            )
+
+    _plant_query_patterns(db, rng, n_parts)
+    return db
+
+
+def _plant_query_patterns(db: KDatabase, rng: random.Random, n_parts: int) -> None:
+    """Seed the sparse patterns Q5, Q7, and Q21 look for.
+
+    At the reduced scales used here, purely random generation rarely
+    produces (a) customers and suppliers sharing an ASIA nation on the same
+    order (Q5), (b) French suppliers shipping to several nations (Q7), or
+    (c) Saudi suppliers on multi-line 'F' orders (Q21) — patterns that are
+    plentiful at the paper's 1 GB scale.  Planting a handful keeps every
+    workload query answerable with >= 5 distinct outputs.
+    """
+    nation_key = {name: idx for idx, (name, _) in enumerate(_NATIONS)}
+    asia_nations = ["INDIA", "INDONESIA", "JAPAN", "CHINA", "VIETNAM"]
+    cust_nations = ["GERMANY", "BRAZIL", "JAPAN", "EGYPT", "KENYA"]
+
+    supp_key = _SUPP_BASE + 900
+    cust_key = _CUST_BASE + 9_000
+    order_key = _ORDER_BASE + 90_000
+
+    def add_supplier(nation: str) -> int:
+        nonlocal supp_key
+        supp_key += 1
+        db.insert(
+            "supplier",
+            (supp_key, f"Supplier#{supp_key}", nation_key[nation],
+             500 * rng.randrange(2, 20)),
+            f"s{supp_key}",
+        )
+        return supp_key
+
+    def add_customer(nation: str, segment: str) -> int:
+        nonlocal cust_key
+        cust_key += 1
+        db.insert(
+            "customer",
+            (cust_key, f"Customer#{cust_key}", nation_key[nation], segment,
+             500 * rng.randrange(2, 20)),
+            f"c{cust_key}",
+        )
+        return cust_key
+
+    def add_order(cust: int, status: str, lines: list[int]) -> int:
+        nonlocal order_key
+        order_key += 1
+        date = 19_940_101 + rng.randrange(0, 10_000)
+        db.insert(
+            "orders",
+            (order_key, cust, status, date, rng.choice(_PRIORITIES)),
+            f"o{order_key}",
+        )
+        for index, supp in enumerate(lines):
+            part = _PART_BASE + rng.randrange(n_parts)
+            db.insert(
+                "lineitem",
+                (order_key, part, supp, rng.randint(1, 25),
+                 1_000 * rng.randrange(90, 100), rng.choice(_FLAGS),
+                 date + 10 * rng.randint(1, 9)),
+                f"l{order_key}_{index}",
+            )
+        return order_key
+
+    # Q5: customer and supplier in the same ASIA nation, joined by an order.
+    for nation in asia_nations:
+        supp = add_supplier(nation)
+        cust = add_customer(nation, rng.choice(_SEGMENTS))
+        add_order(cust, rng.choice(_STATUS), [supp])
+
+    # Q7: French suppliers shipping to customers in several nations.
+    for nation in cust_nations:
+        supp = add_supplier("FRANCE")
+        cust = add_customer(nation, rng.choice(_SEGMENTS))
+        add_order(cust, rng.choice(_STATUS), [supp])
+
+    # Q9: Brand#11 parts supplied (with partsupp rows) from several nations.
+    part_key = _PART_BASE + 9_000
+    for nation in ("FRANCE", "GERMANY", "CHINA", "PERU", "KENYA"):
+        part_key += 1
+        db.insert(
+            "part",
+            (part_key, f"Part#{part_key}", "Brand#11", rng.choice(_TYPES)),
+            f"p{part_key}",
+        )
+        supp = add_supplier(nation)
+        db.insert(
+            "partsupp",
+            (part_key, supp, 50 * rng.randrange(2, 20)),
+            f"ps{part_key}_0",
+        )
+        cust = add_customer(nation, rng.choice(_SEGMENTS))
+        order = add_order(cust, rng.choice(_STATUS), [])
+        db.insert(
+            "lineitem",
+            (order, part_key, supp, rng.randint(1, 25),
+             1_000 * rng.randrange(90, 100), rng.choice(_FLAGS),
+             19_950_101 + 10 * rng.randrange(0, 100)),
+            f"l{order}_b11",
+        )
+
+    # Q21: Saudi suppliers on 'F' orders carrying three lineitems.
+    for _ in range(5):
+        saudi = add_supplier("SAUDI ARABIA")
+        other_a = add_supplier(rng.choice(asia_nations))
+        other_b = add_supplier(rng.choice(cust_nations))
+        cust = add_customer(rng.choice(cust_nations), rng.choice(_SEGMENTS))
+        add_order(cust, "F", [saudi, other_a, other_b])

@@ -1,0 +1,90 @@
+"""The paper's abstraction trees for TPC-H and IMDB (Section 5.1).
+
+* TPC-H: a tree over the ``lineitem`` relation's annotations, "randomly
+  divided into subcategories evenly throughout the tree".
+* IMDB: an ontology — people categorized by birth year, then ranges of
+  years; movies by release year, then ranges; the cast/direction link
+  tables by the year of the linked movie; genres by genre type; all under
+  a root of main categories.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.abstraction.builders import tree_from_categories
+from repro.abstraction.tree import AbstractionTree
+from repro.db.database import KDatabase
+
+
+def tpch_lineitem_tree(
+    db: KDatabase,
+    n_leaves: int = 1000,
+    height: int = 5,
+    seed: int = 0,
+    must_include: Iterable[str] = (),
+) -> AbstractionTree:
+    """A balanced random tree over (a sample of) lineitem annotations.
+
+    ``must_include`` — typically the K-example's lineitem variables — is
+    always part of the sample so the tree can abstract them.
+    """
+    annotations = [t.annotation for t in db.relation("lineitem")]
+    from repro.abstraction.builders import tree_over_annotations
+
+    return tree_over_annotations(
+        annotations, n_leaves=n_leaves, height=height, seed=seed,
+        must_include=must_include,
+    )
+
+
+def imdb_ontology_tree(db: KDatabase) -> AbstractionTree:
+    """The paper's IMDB ontology tree (five top-level categories).
+
+    Levels: root -> main category -> range (decade) -> year -> annotation,
+    i.e. the paper's 5-level tree.
+    """
+    movie_year: dict[object, int] = {}
+    for tup in db.relation("movie"):
+        movie_year[tup.values[0]] = int(tup.values[2])
+
+    def decade(year: int) -> str:
+        low = (year // 10) * 10
+        return f"{low}-{low + 9}"
+
+    people: dict[str, dict[str, list[str]]] = {}
+    for tup in db.relation("person"):
+        year = int(tup.values[2])
+        people.setdefault(f"people-born-{decade(year)}", {}).setdefault(
+            f"people-born-{year}", []
+        ).append(tup.annotation)
+
+    movies: dict[str, dict[str, list[str]]] = {}
+    for tup in db.relation("movie"):
+        year = int(tup.values[2])
+        movies.setdefault(f"movies-{decade(year)}", {}).setdefault(
+            f"movies-{year}", []
+        ).append(tup.annotation)
+
+    def link_categories(relation: str, prefix: str) -> dict:
+        out: dict[str, dict[str, list[str]]] = {}
+        for tup in db.relation(relation):
+            year = movie_year.get(tup.values[1])
+            if year is None:
+                continue
+            out.setdefault(f"{prefix}-{decade(year)}", {}).setdefault(
+                f"{prefix}-{year}", []
+            ).append(tup.annotation)
+        return out
+
+    genres: dict[str, list[str]] = {}
+    for tup in db.relation("genre"):
+        genres.setdefault(f"genre-{tup.values[1]}", []).append(tup.annotation)
+
+    return tree_from_categories({
+        "People": people,
+        "Movies": movies,
+        "Cast": link_categories("casts", "cast"),
+        "Directed": link_categories("directs", "directed"),
+        "Genres": genres,
+    })

@@ -1,0 +1,14 @@
+"""Relational substrate: schemas, annotated tuples, and K-databases."""
+
+from repro.db.database import AnnotationRegistry, KDatabase, KRelation
+from repro.db.schema import RelationSchema, Schema
+from repro.db.tuples import Tuple
+
+__all__ = [
+    "AnnotationRegistry",
+    "KDatabase",
+    "KRelation",
+    "RelationSchema",
+    "Schema",
+    "Tuple",
+]

@@ -1,0 +1,182 @@
+"""K-databases: collections of annotated relations with lookup indexes.
+
+The :class:`KDatabase` is the substrate every other subsystem builds on:
+the evaluator joins over its per-column indexes, the abstraction machinery
+resolves annotations back to tuples through its :class:`AnnotationRegistry`,
+and the dataset generators populate it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any, Optional
+
+from repro.errors import SchemaError
+from repro.db.schema import RelationSchema, Schema
+from repro.db.tuples import Tuple
+
+
+class KRelation:
+    """An annotated relation: an ordered list of tuples plus a column index."""
+
+    __slots__ = ("_schema", "_tuples", "_column_index")
+
+    def __init__(self, schema: RelationSchema):
+        self._schema = schema
+        self._tuples: list[Tuple] = []
+        # column position -> value -> list of tuples with that value there
+        self._column_index: list[dict[Any, list[Tuple]]] = [
+            {} for _ in range(schema.arity)
+        ]
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        return self._schema.name
+
+    def add(self, tup: Tuple) -> None:
+        if tup.relation != self._schema.name:
+            raise SchemaError(
+                f"tuple for relation {tup.relation!r} added to {self.name!r}"
+            )
+        if tup.arity != self._schema.arity:
+            raise SchemaError(
+                f"arity mismatch for {self.name!r}: expected "
+                f"{self._schema.arity}, got {tup.arity}"
+            )
+        self._tuples.append(tup)
+        for pos, value in enumerate(tup.values):
+            self._column_index[pos].setdefault(value, []).append(tup)
+
+    def matching(self, bindings: dict[int, Any]) -> Iterator[Tuple]:
+        """Tuples whose value at each position in ``bindings`` matches.
+
+        Picks the most selective bound column as the driver; an empty
+        ``bindings`` scans the whole relation.
+        """
+        if not bindings:
+            yield from self._tuples
+            return
+        best_pos = min(
+            bindings,
+            key=lambda pos: len(self._column_index[pos].get(bindings[pos], ())),
+        )
+        for tup in self._column_index[best_pos].get(bindings[best_pos], ()):
+            if all(tup.values[pos] == val for pos, val in bindings.items()):
+                yield tup
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __repr__(self) -> str:
+        return f"KRelation({self._schema!r}, {len(self._tuples)} tuples)"
+
+
+class AnnotationRegistry:
+    """Bidirectional map between annotations and the tuples they tag."""
+
+    __slots__ = ("_by_annotation",)
+
+    def __init__(self) -> None:
+        self._by_annotation: dict[str, Tuple] = {}
+
+    def register(self, tup: Tuple) -> None:
+        existing = self._by_annotation.get(tup.annotation)
+        if existing is not None and existing != tup:
+            raise SchemaError(
+                f"annotation {tup.annotation!r} already tags {existing!r}; "
+                "input databases must be abstractly tagged"
+            )
+        self._by_annotation[tup.annotation] = tup
+
+    def resolve(self, annotation: str) -> Tuple:
+        try:
+            return self._by_annotation[annotation]
+        except KeyError:
+            raise SchemaError(f"unknown annotation {annotation!r}") from None
+
+    def resolve_or_none(self, annotation: str) -> Optional[Tuple]:
+        return self._by_annotation.get(annotation)
+
+    def annotations(self) -> frozenset[str]:
+        return frozenset(self._by_annotation)
+
+    def __contains__(self, annotation: str) -> bool:
+        return annotation in self._by_annotation
+
+    def __len__(self) -> int:
+        return len(self._by_annotation)
+
+
+class KDatabase:
+    """An abstractly-tagged K-database over a schema.
+
+    Every tuple carries a distinct annotation; the registry resolves
+    annotations back to tuples, which is what lets concretizations of an
+    abstracted K-example be interpreted as real database content.
+    """
+
+    __slots__ = ("_schema", "_relations", "_registry", "_auto_counter")
+
+    def __init__(self, schema: Schema):
+        self._schema = schema
+        self._relations: dict[str, KRelation] = {
+            rel.name: KRelation(rel) for rel in schema
+        }
+        self._registry = AnnotationRegistry()
+        self._auto_counter = 0
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def registry(self) -> AnnotationRegistry:
+        return self._registry
+
+    def relation(self, name: str) -> KRelation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def insert(
+        self,
+        relation: str,
+        values: Iterable[Any],
+        annotation: Optional[str] = None,
+    ) -> Tuple:
+        """Insert a tuple, auto-generating an annotation if none is given."""
+        if annotation is None:
+            self._auto_counter += 1
+            annotation = f"t{self._auto_counter}"
+        tup = Tuple(relation, tuple(values), annotation)
+        self.relation(relation).add(tup)
+        self._registry.register(tup)
+        return tup
+
+    def tuples(self) -> Iterator[Tuple]:
+        """All tuples across all relations."""
+        for rel in self._relations.values():
+            yield from rel
+
+    def annotations(self) -> frozenset[str]:
+        return self._registry.annotations()
+
+    def resolve(self, annotation: str) -> Tuple:
+        return self._registry.resolve(annotation)
+
+    def total_tuples(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{name}={len(rel)}" for name, rel in self._relations.items()
+        )
+        return f"KDatabase({sizes})"

@@ -1,0 +1,104 @@
+"""Database schemas: relation names and attribute lists.
+
+Schemas are deliberately lightweight — attribute names plus arity are all
+the query machinery needs.  Values are ordinary hashable Python objects
+(strings and numbers in the bundled datasets).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+
+
+class RelationSchema:
+    """A relation name together with its ordered attribute names."""
+
+    __slots__ = ("_name", "_attributes", "_index")
+
+    def __init__(self, name: str, attributes: Iterable[str]):
+        self._name = str(name)
+        self._attributes = tuple(str(a) for a in attributes)
+        if len(set(self._attributes)) != len(self._attributes):
+            raise SchemaError(
+                f"duplicate attribute names in relation {name!r}: "
+                f"{self._attributes}"
+            )
+        self._index = {attr: i for i, attr in enumerate(self._attributes)}
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self._attributes
+
+    @property
+    def arity(self) -> int:
+        return len(self._attributes)
+
+    def position(self, attribute: str) -> int:
+        """Index of ``attribute`` within the relation."""
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self._name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationSchema)
+            and self._name == other._name
+            and self._attributes == other._attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._attributes))
+
+    def __repr__(self) -> str:
+        return f"{self._name}({', '.join(self._attributes)})"
+
+
+class Schema:
+    """A collection of relation schemas keyed by relation name."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()):
+        self._relations: dict[str, RelationSchema] = {}
+        for rel in relations:
+            self.add(rel)
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Iterable[str]]) -> "Schema":
+        """Build a schema from ``{"R": ["a", "b"], ...}``."""
+        return cls(RelationSchema(name, attrs) for name, attrs in spec.items())
+
+    def add(self, relation: RelationSchema) -> None:
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation name {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __repr__(self) -> str:
+        return "Schema(" + ", ".join(map(repr, self._relations.values())) + ")"

@@ -1,0 +1,65 @@
+"""Annotated tuples: the atoms of a K-database.
+
+A :class:`Tuple` carries its relation name, its values, and its provenance
+annotation (the variable from ``X`` identifying it — databases used as
+query inputs are *abstractly tagged*, i.e. every tuple has a distinct
+annotation).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Tuple:
+    """An annotated database tuple, e.g. ``h1: Hobbies(1, 'Dance', 'Facebook')``."""
+
+    __slots__ = ("_relation", "_values", "_annotation", "_hash")
+
+    def __init__(self, relation: str, values: tuple, annotation: str):
+        self._relation = str(relation)
+        self._values = tuple(values)
+        self._annotation = str(annotation)
+        self._hash = hash((self._relation, self._values, self._annotation))
+
+    @property
+    def relation(self) -> str:
+        return self._relation
+
+    @property
+    def values(self) -> tuple:
+        return self._values
+
+    @property
+    def annotation(self) -> str:
+        return self._annotation
+
+    @property
+    def arity(self) -> int:
+        return len(self._values)
+
+    def value_set(self) -> frozenset[Any]:
+        """The set of constants appearing in the tuple.
+
+        Used by the concretization-connectivity filter: two tuples are
+        adjacent iff their value sets intersect.
+        """
+        return frozenset(self._values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._values[index]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Tuple)
+            and self._relation == other._relation
+            and self._values == other._values
+            and self._annotation == other._annotation
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(v) for v in self._values)
+        return f"{self._annotation}: {self._relation}({body})"

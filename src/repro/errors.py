@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch library failures with a single ``except`` clause while still letting
+programming errors (``TypeError`` and friends) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation, attribute, or tuple does not match the declared schema."""
+
+
+class ParseError(ReproError):
+    """A datalog query string could not be parsed."""
+
+
+class EvaluationError(ReproError):
+    """A query could not be evaluated over the given K-database."""
+
+
+class AbstractionError(ReproError):
+    """An abstraction tree or abstraction function is ill-formed.
+
+    Raised, e.g., when a tree is incompatible with a K-example
+    (Definition 2.6) or when an abstraction function maps a variable to a
+    non-ancestor node (Definition 3.1).
+    """
+
+
+class SemiringError(ReproError):
+    """An operation is not supported by the chosen provenance semiring."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer was configured inconsistently or exhausted its budget."""

@@ -1,0 +1,86 @@
+"""The paper's running example (Figures 1-6) as a reusable fixture.
+
+Used by the quickstart example, the Table 3 reproduction, and the test
+suite: the Interests/Hobbies/Persons database, the four queries of Table 1,
+and the abstraction tree of Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.abstraction.builders import tree_from_categories
+from repro.abstraction.tree import AbstractionTree
+from repro.db.database import KDatabase
+from repro.db.schema import Schema
+from repro.query.ast import CQ
+from repro.query.parser import parse_cq
+
+RUNNING_EXAMPLE_SCHEMA = Schema.from_dict({
+    "Person": ["pid", "name", "age"],
+    "Hobbies": ["pid", "hobby", "source"],
+    "Interests": ["pid", "interest", "source"],
+})
+
+#: The queries of Table 1.
+Q_REAL = parse_cq(
+    "Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', src1),"
+    " Interests(id, 'Music', src2)"
+)
+Q_FALSE_1 = parse_cq(
+    "Q(id) :- Person(id, name, age), Hobbies(id, 'Trips', src1),"
+    " Interests(id, 'Music', src2)"
+)
+Q_FALSE_2 = parse_cq(
+    "Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', src1),"
+    " Interests(id, 'Parties', src2)"
+)
+Q_GENERAL = parse_cq(
+    "Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', src1),"
+    " Interests(id, interest, src2)"
+)
+
+
+def running_example_db() -> KDatabase:
+    """The database instance of Figure 1."""
+    db = KDatabase(RUNNING_EXAMPLE_SCHEMA)
+    rows = {
+        "Interests": [
+            ("i1", (1, "Music", "WikiLeaks")),
+            ("i2", (2, "Music", "Facebook")),
+            ("i3", (3, "Music", "LinkedIn")),
+            ("i4", (1, "Parties", "WikiLeaks")),
+            ("i5", (2, "Parties", "Facebook")),
+            ("i6", (4, "Movies", "WikiLeaks")),
+        ],
+        "Hobbies": [
+            ("h1", (1, "Dance", "Facebook")),
+            ("h2", (2, "Dance", "LinkedIn")),
+            ("h3", (4, "Dance", "Facebook")),
+            ("h4", (1, "Trips", "Facebook")),
+            ("h5", (2, "Trips", "LinkedIn")),
+            ("h6", (3, "Trips", "WikiLeaks")),
+        ],
+        "Person": [
+            ("p1", (1, "James T", 27)),
+            ("p2", (2, "Brenda P", 31)),
+        ],
+    }
+    for relation, tuples in rows.items():
+        for annotation, values in tuples:
+            db.insert(relation, values, annotation)
+    return db
+
+
+def running_example_tree() -> AbstractionTree:
+    """The abstraction tree of Figure 3."""
+    return tree_from_categories({
+        "WikiLeaks": ["i6", "i4", "i1", "h6"],
+        "Social Network": {
+            "LinkedIn": ["i3", "h5", "h2"],
+            "Facebook": ["i5", "i2", "h4", "h3", "h1"],
+        },
+    })
+
+
+def running_example() -> tuple[KDatabase, CQ, AbstractionTree]:
+    """``(database, Q_real, tree)`` — everything Example 1.1 needs."""
+    return running_example_db(), Q_REAL, running_example_tree()

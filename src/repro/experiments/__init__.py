@@ -1,0 +1,51 @@
+"""The paper's experiment suite (Section 5), scaled for pure Python.
+
+Each ``run_fig*``/``run_table*`` function regenerates one figure or table:
+it returns the same series the paper plots (per-query curves over the
+swept parameter) so EXPERIMENTS.md can record paper-vs-measured shapes.
+"""
+
+from repro.experiments.settings import ExperimentSettings, DEFAULT_SETTINGS
+from repro.experiments.runner import ExperimentContext, prepare_context
+from repro.experiments.figures import (
+    run_distribution_sensitivity,
+    run_dual_problem,
+    run_fig09_threshold_runtime,
+    run_fig10_threshold_size,
+    run_fig11_threshold_loi,
+    run_fig12_treesize_runtime,
+    run_fig13_treesize_size,
+    run_fig14_height_runtime,
+    run_fig15_height_size,
+    run_fig16_joins_runtime,
+    run_fig17_rows_runtime,
+    run_fig18_compression_loi,
+    run_fig19_component_ablation,
+    run_table3_running_example,
+    run_table6_query_stats,
+)
+from repro.experiments.report import format_series, print_series
+
+__all__ = [
+    "DEFAULT_SETTINGS",
+    "ExperimentContext",
+    "ExperimentSettings",
+    "format_series",
+    "prepare_context",
+    "print_series",
+    "run_distribution_sensitivity",
+    "run_dual_problem",
+    "run_fig09_threshold_runtime",
+    "run_fig10_threshold_size",
+    "run_fig11_threshold_loi",
+    "run_fig12_treesize_runtime",
+    "run_fig13_treesize_size",
+    "run_fig14_height_runtime",
+    "run_fig15_height_size",
+    "run_fig16_joins_runtime",
+    "run_fig17_rows_runtime",
+    "run_fig18_compression_loi",
+    "run_fig19_component_ablation",
+    "run_table3_running_example",
+    "run_table6_query_stats",
+]

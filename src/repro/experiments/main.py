@@ -1,0 +1,81 @@
+"""Command-line entry point: regenerate the paper's figures as text tables.
+
+Usage::
+
+    python -m repro.experiments.main                 # fast profile
+    python -m repro.experiments.main --profile default
+    python -m repro.experiments.main --figures 9 11 18
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import figures
+from repro.experiments.report import print_series
+from repro.experiments.settings import DEFAULT_SETTINGS, FAST_SETTINGS
+
+RUNNERS = {
+    "9": ("Figure 9: runtime vs privacy threshold",
+          figures.run_fig09_threshold_runtime, "k", "seconds"),
+    "10": ("Figure 10: abstraction size vs privacy threshold",
+           figures.run_fig10_threshold_size, "k", "edges"),
+    "11": ("Figure 11: LOI vs privacy threshold",
+           figures.run_fig11_threshold_loi, "k", "LOI"),
+    "12": ("Figure 12: runtime vs tree size",
+           figures.run_fig12_treesize_runtime, "leaves", "seconds"),
+    "13": ("Figure 13: abstraction size vs tree size",
+           figures.run_fig13_treesize_size, "leaves", "edges"),
+    "14": ("Figure 14: runtime vs tree height",
+           figures.run_fig14_height_runtime, "height", "seconds"),
+    "15": ("Figure 15: abstraction size vs tree height",
+           figures.run_fig15_height_size, "height", "edges"),
+    "16": ("Figure 16: runtime vs number of joins",
+           figures.run_fig16_joins_runtime, "joins", "seconds"),
+    "17": ("Figure 17: runtime vs K-example rows",
+           figures.run_fig17_rows_runtime, "rows", "seconds"),
+    "18": ("Figure 18: LOI, ours vs compression [24]",
+           figures.run_fig18_compression_loi, "k", "LOI"),
+    "19": ("Figure 19: component ablation (% of brute force)",
+           figures.run_fig19_component_ablation, "component", "%"),
+    "dist": ("LOI-distribution sensitivity",
+             figures.run_distribution_sensitivity, "distribution", "seconds"),
+    "dual": ("Dual problem",
+             figures.run_dual_problem, "metric", "value"),
+}
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--profile", choices=("fast", "default"), default="fast",
+        help="fast: reduced sweeps (minutes); default: full sweeps (hours)",
+    )
+    parser.add_argument(
+        "--figures", nargs="*", default=sorted(RUNNERS),
+        help=f"which figures to run (choices: {', '.join(sorted(RUNNERS))})",
+    )
+    parser.add_argument(
+        "--queries", nargs="*", default=None,
+        help="restrict to specific workload queries (e.g. TPCH-Q3 IMDB-Q1)",
+    )
+    args = parser.parse_args(argv)
+
+    settings = FAST_SETTINGS if args.profile == "fast" else DEFAULT_SETTINGS
+    for key in args.figures:
+        if key not in RUNNERS:
+            parser.error(f"unknown figure {key!r}")
+        title, runner, x_label, y_label = RUNNERS[key]
+        start = time.perf_counter()
+        series = runner(settings, queries=args.queries)
+        elapsed = time.perf_counter() - start
+        print_series(f"{title}  [{elapsed:.1f}s]", series,
+                     x_label=x_label, y_label=y_label)
+
+    print("Table 3:", figures.run_table3_running_example())
+    print("Table 6:", figures.run_table6_query_stats())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Plain-text rendering of experiment series (the figures, as tables)."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def format_series(
+    title: str,
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+    y_format: str = "{:.4g}",
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as an aligned text table."""
+    xs: list[float] = sorted({x for points in series.values() for x, _ in points})
+    header = [x_label.ljust(28)] + [f"{x:>10g}" for x in xs]
+    lines = [title, "=" * len(title), "".join(header)]
+    for name in sorted(series):
+        lookup = dict(series[name])
+        cells = []
+        for x in xs:
+            y = lookup.get(x)
+            if y is None or (isinstance(y, float) and math.isnan(y)):
+                cells.append(f"{'-':>10}")
+            else:
+                cells.append(f"{y_format.format(y):>10}")
+        lines.append(name.ljust(28) + "".join(cells))
+    lines.append(f"(y = {y_label})")
+    return "\n".join(lines)
+
+
+def print_series(
+    title: str,
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> None:
+    """Print a series table to stdout."""
+    print(format_series(title, series, x_label=x_label, y_label=y_label))
+    print()

@@ -1,0 +1,61 @@
+"""Experiment settings (the paper's Table 5, scaled down).
+
+The paper's basic setting is: privacy threshold 5; a 5-level tree with
+10000 leaves; 2-row K-examples; uniform LOI distribution; 1 GB data.  Pure
+Python trades constant factors for clarity, so the defaults here shrink the
+data and tree sizes while sweeping the *same parameters over the same
+relative ranges* — the shapes the figures compare are preserved (see
+DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Shared defaults for every figure runner."""
+
+    privacy_threshold: int = 5
+    tree_leaves: int = 200
+    tree_height: int = 5
+    kexample_rows: int = 2
+    tpch_scale: float = 0.02
+    imdb_people: int = 120
+    imdb_movies: int = 80
+    seed: int = 1
+    # The sweeps (paper ranges in comments).
+    thresholds: tuple[int, ...] = (2, 5, 8, 11, 14, 17, 20)  # paper: 2..20
+    tree_sizes: tuple[int, ...] = (100, 200, 400, 800)       # paper: 10K..810K
+    tree_heights: tuple[int, ...] = (2, 3, 4, 5, 6, 7)       # paper heights
+    row_counts: tuple[int, ...] = (2, 3, 4)                  # paper: 2..5+
+    # Queries whose curves the paper plots (Section 5.1 omits the
+    # near-duplicate curves of Q5/Q9/IMDB-Q3/IMDB-Q4).
+    plotted_queries: tuple[str, ...] = (
+        "TPCH-Q3", "TPCH-Q4", "TPCH-Q7", "TPCH-Q10", "TPCH-Q21",
+        "IMDB-Q1", "IMDB-Q2", "IMDB-Q5", "IMDB-Q6", "IMDB-Q7",
+    )
+    # A fast subset for benchmark runs (full set via the module mains).
+    bench_queries: tuple[str, ...] = ("TPCH-Q3", "TPCH-Q10", "IMDB-Q1")
+    join_sweep_queries: tuple[str, ...] = (
+        "TPCH-Q5", "TPCH-Q7", "TPCH-Q9", "TPCH-Q21",
+        "IMDB-Q2", "IMDB-Q4", "IMDB-Q7",
+    )
+    max_candidates: int = 30_000
+    # Per-search wall-clock budget (None = unbounded).
+    max_seconds: "float | None" = 60.0
+
+
+DEFAULT_SETTINGS = ExperimentSettings()
+
+#: A reduced-size profile for CI / pytest-benchmark runs.
+FAST_SETTINGS = ExperimentSettings(
+    thresholds=(2, 5, 8),
+    tree_sizes=(50, 100, 200),
+    tree_heights=(3, 4, 5),
+    row_counts=(2, 3),
+    tree_leaves=100,
+    max_candidates=8_000,
+    max_seconds=20.0,
+)

@@ -1,0 +1,28 @@
+"""Serialization: JSON/CSV import and export for every core object."""
+
+from repro.io.json_io import (
+    abstraction_from_json,
+    abstraction_to_json,
+    database_from_json,
+    database_to_json,
+    kexample_from_json,
+    kexample_to_json,
+    result_to_json,
+    tree_from_json,
+    tree_to_json,
+)
+from repro.io.csv_io import database_from_csv_dir, database_to_csv_dir
+
+__all__ = [
+    "abstraction_from_json",
+    "abstraction_to_json",
+    "database_from_csv_dir",
+    "database_from_json",
+    "database_to_csv_dir",
+    "database_to_json",
+    "kexample_from_json",
+    "kexample_to_json",
+    "result_to_json",
+    "tree_from_json",
+    "tree_to_json",
+]

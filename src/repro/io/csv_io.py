@@ -1,0 +1,85 @@
+"""CSV import/export: one file per relation, annotations in a column.
+
+The on-disk layout is a directory with ``<relation>.csv`` files.  Each file
+has a header row; the first column is the tuple annotation, the remaining
+columns are the relation's attributes::
+
+    _annotation,pid,hobby,source
+    h1,1,Dance,Facebook
+
+Values are parsed back as ints/floats when they look numeric (matching the
+datalog parser's constant syntax), else kept as strings.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.db.database import KDatabase
+from repro.db.schema import Schema
+from repro.errors import SchemaError
+
+ANNOTATION_COLUMN = "_annotation"
+
+
+def database_to_csv_dir(database: KDatabase, directory: "str | Path") -> None:
+    """Write one ``<relation>.csv`` per relation under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for rel_schema in database.schema:
+        path = directory / f"{rel_schema.name}.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([ANNOTATION_COLUMN, *rel_schema.attributes])
+            for tup in database.relation(rel_schema.name):
+                writer.writerow([tup.annotation, *tup.values])
+
+
+def _parse_value(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def database_from_csv_dir(directory: "str | Path") -> KDatabase:
+    """Load every ``*.csv`` in ``directory`` as a relation."""
+    directory = Path(directory)
+    paths = sorted(directory.glob("*.csv"))
+    if not paths:
+        raise SchemaError(f"no .csv files found in {directory}")
+
+    spec: dict[str, list[str]] = {}
+    headers: dict[str, list[str]] = {}
+    for path in paths:
+        with open(path, newline="") as handle:
+            header = next(csv.reader(handle), None)
+        if not header or header[0] != ANNOTATION_COLUMN:
+            raise SchemaError(
+                f"{path.name}: first column must be {ANNOTATION_COLUMN!r}"
+            )
+        spec[path.stem] = header[1:]
+        headers[path.stem] = header
+
+    db = KDatabase(Schema.from_dict(spec))
+    for path in paths:
+        relation = path.stem
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            next(reader)  # header
+            for line_number, row in enumerate(reader, start=2):
+                if not row:
+                    continue
+                if len(row) != len(headers[relation]):
+                    raise SchemaError(
+                        f"{path.name}:{line_number}: expected "
+                        f"{len(headers[relation])} columns, got {len(row)}"
+                    )
+                annotation, *values = row
+                db.insert(relation, [_parse_value(v) for v in values], annotation)
+    return db

@@ -1,0 +1,171 @@
+"""JSON serialization for databases, trees, K-examples, and results.
+
+The formats are deliberately plain so other tools (and humans) can produce
+them:
+
+Database::
+
+    {"schema": {"R": ["a", "b"]},
+     "tuples": [{"relation": "R", "values": [1, 2], "annotation": "r1"}]}
+
+Tree (children nested under labels)::
+
+    {"label": "*", "children": [
+        {"label": "Facebook", "children": [{"label": "h1"}]}]}
+
+K-example::
+
+    {"rows": [{"output": [1], "provenance": ["p1", "h1", "i1"]}]}
+
+Abstraction (per-occurrence)::
+
+    {"assignment": [{"row": 0, "occurrence": 0, "target": "Facebook"}]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.abstraction.function import AbstractionFunction
+from repro.abstraction.tree import AbstractionTree, TreeNode
+from repro.core.optimizer import OptimalAbstractionResult
+from repro.db.database import KDatabase
+from repro.db.schema import Schema
+from repro.errors import SchemaError
+from repro.provenance.kexample import KExample, KExampleRow
+
+
+# -- database -------------------------------------------------------------
+
+def database_to_json(database: KDatabase) -> dict:
+    """A JSON-ready dict describing schema and annotated tuples."""
+    return {
+        "schema": {
+            rel.name: list(rel.attributes) for rel in database.schema
+        },
+        "tuples": [
+            {
+                "relation": tup.relation,
+                "values": list(tup.values),
+                "annotation": tup.annotation,
+            }
+            for tup in database.tuples()
+        ],
+    }
+
+
+def database_from_json(data: dict) -> KDatabase:
+    """Rebuild a K-database from :func:`database_to_json` output."""
+    try:
+        schema = Schema.from_dict(data["schema"])
+        db = KDatabase(schema)
+        for entry in data["tuples"]:
+            db.insert(
+                entry["relation"],
+                tuple(entry["values"]),
+                entry["annotation"],
+            )
+    except KeyError as exc:
+        raise SchemaError(f"malformed database JSON: missing {exc}") from None
+    return db
+
+
+# -- tree --------------------------------------------------------------------
+
+def tree_to_json(tree: AbstractionTree) -> dict:
+    """Nested-dict rendering of an abstraction tree."""
+
+    def node_to_json(node: TreeNode) -> dict:
+        out: dict[str, Any] = {"label": node.label}
+        if node.children:
+            out["children"] = [node_to_json(c) for c in node.children]
+        return out
+
+    return node_to_json(tree.root)
+
+
+def tree_from_json(data: dict) -> AbstractionTree:
+    """Rebuild a (frozen) abstraction tree from nested dicts."""
+    tree = AbstractionTree(str(data["label"]))
+
+    def build(parent_label: str, children: list[dict]) -> None:
+        for child in children:
+            tree.add_node(str(child["label"]), parent_label)
+            build(str(child["label"]), child.get("children", []))
+
+    build(str(data["label"]), data.get("children", []))
+    return tree.freeze()
+
+
+# -- K-example -----------------------------------------------------------------
+
+def kexample_to_json(example: KExample) -> dict:
+    """Rows only; the registry is carried by the database file."""
+    return {
+        "rows": [
+            {"output": list(row.output), "provenance": list(row.occurrences)}
+            for row in example.rows
+        ]
+    }
+
+
+def kexample_from_json(data: dict, database: KDatabase) -> KExample:
+    rows = [
+        KExampleRow(tuple(entry["output"]), list(entry["provenance"]))
+        for entry in data["rows"]
+    ]
+    return KExample(rows, database.registry)
+
+
+# -- abstraction function -------------------------------------------------------
+
+def abstraction_to_json(function: AbstractionFunction) -> dict:
+    return {
+        "assignment": [
+            {"row": row, "occurrence": occurrence, "target": target}
+            for (row, occurrence), target in sorted(function.assignment.items())
+        ]
+    }
+
+
+def abstraction_from_json(
+    data: dict, tree: AbstractionTree, example: KExample
+) -> AbstractionFunction:
+    assignment = {
+        (entry["row"], entry["occurrence"]): entry["target"]
+        for entry in data["assignment"]
+    }
+    return AbstractionFunction(tree, example, assignment)
+
+
+# -- results --------------------------------------------------------------------
+
+def result_to_json(
+    result: OptimalAbstractionResult, example: Optional[KExample] = None
+) -> dict:
+    """A self-describing summary of an optimization outcome."""
+    out: dict[str, Any] = {
+        "found": result.found,
+        "privacy": result.privacy,
+        "loss_of_information": result.loi if result.found else None,
+        "edges_used": result.edges_used,
+        "stats": {
+            "candidates_scanned": result.stats.candidates_scanned,
+            "privacy_computations": result.stats.privacy_computations,
+            "elapsed_seconds": result.stats.elapsed_seconds,
+        },
+    }
+    if result.function is not None:
+        out["abstraction"] = abstraction_to_json(result.function)
+    if result.abstracted is not None:
+        out["abstracted_rows"] = [
+            {"output": list(row.output), "provenance": list(row.occurrences)}
+            for row in result.abstracted.rows
+        ]
+    return out
+
+
+def dumps(data: dict) -> str:
+    """Stable JSON text (sorted keys, readable indentation)."""
+    return json.dumps(data, indent=2, sort_keys=True)

@@ -1,0 +1,12 @@
+"""K-examples: query outputs paired with their provenance (Definition 2.4)."""
+
+from repro.provenance.kexample import AbstractedKExample, KExample, KExampleRow
+from repro.provenance.builder import build_kexample, build_aggregate_example
+
+__all__ = [
+    "AbstractedKExample",
+    "KExample",
+    "KExampleRow",
+    "build_aggregate_example",
+    "build_kexample",
+]

@@ -1,0 +1,90 @@
+"""Building K-examples from queries and databases.
+
+This is the "provenance tracking" entry point: run a query with provenance
+enabled and package a sample of the results — one derivation per output row
+— as the K-example an organization would publish (Definition 2.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.db.database import KDatabase
+from repro.errors import EvaluationError
+from repro.provenance.kexample import KExample, KExampleRow
+from repro.query.ast import CQ
+from repro.query.evaluator import derivations
+from repro.semirings.semimodule import AggregateExpression, AggregateOp, AggregateTerm
+
+
+def build_kexample(
+    query: CQ,
+    database: KDatabase,
+    n_rows: int = 2,
+    distinct_outputs: bool = True,
+    max_overlap: Optional[float] = None,
+) -> KExample:
+    """Evaluate ``query`` and keep the first ``n_rows`` explained results.
+
+    Each K-example row pairs an output tuple with the provenance monomial of
+    one derivation, mirroring the paper's K-examples (Figure 2).  With
+    ``distinct_outputs`` each output value combination appears at most once.
+    ``max_overlap`` (0..1) additionally skips derivations whose annotations
+    mostly repeat earlier rows' — useful to avoid degenerate examples (e.g.
+    the same movie explaining every row), which would bake spurious
+    constants into the reverse-engineered queries.
+    """
+    rows: list[KExampleRow] = []
+    seen_outputs: set[tuple] = set()
+    seen_annotations: set[str] = set()
+    for derivation in derivations(query, database):
+        output = derivation.output()
+        if distinct_outputs and output in seen_outputs:
+            continue
+        monomial = derivation.monomial()
+        if max_overlap is not None and rows:
+            anns = monomial.variables()
+            overlap = len(anns & seen_annotations) / len(anns)
+            if overlap > max_overlap:
+                continue
+        seen_outputs.add(output)
+        seen_annotations.update(monomial.variables())
+        rows.append(KExampleRow(output, monomial))
+        if len(rows) == n_rows:
+            break
+    if len(rows) < n_rows:
+        raise EvaluationError(
+            f"query produced only {len(rows)} distinct rows; "
+            f"{n_rows} requested"
+        )
+    return KExample(rows, database.registry)
+
+
+def build_aggregate_example(
+    query: CQ,
+    database: KDatabase,
+    op: AggregateOp,
+    value_column: int,
+    n_terms: Optional[int] = None,
+) -> AggregateExpression:
+    """Aggregate provenance for ``query``: one tensor term per derivation.
+
+    ``value_column`` indexes the head tuple; e.g. for a MAX over ages with
+    head ``Q(age)`` pass 0.  The result is the semimodule expression of
+    Section 3.4, ready to be abstracted alongside a matching K-example.
+    """
+    terms: list[AggregateTerm] = []
+    for derivation in derivations(query, database):
+        output = derivation.output()
+        value = output[value_column]
+        if not isinstance(value, (int, float)):
+            raise EvaluationError(
+                f"aggregate value column {value_column} holds non-numeric "
+                f"value {value!r}"
+            )
+        terms.append(AggregateTerm(derivation.monomial(), float(value)))
+        if n_terms is not None and len(terms) == n_terms:
+            break
+    if not terms:
+        raise EvaluationError("query produced no derivations to aggregate")
+    return AggregateExpression(op, terms)

@@ -1,0 +1,176 @@
+"""Hypothetical reasoning over (abstracted) provenance.
+
+The utility the paper's user study measures — and the application driving
+the abstraction framework of [24] — is answering *what-if* questions from
+provenance without re-running the query: "if these tuples were deleted,
+would this result still hold?".
+
+With exact provenance the answer is determined: a monomial survives iff
+none of its tuples is deleted.  With *abstracted* provenance the answer is
+three-valued: an abstract label survives for sure only if no leaf below it
+is deleted, dies for sure only if all leaves below it are, and is unknown
+otherwise.  :class:`HypotheticalReasoner` implements that logic for
+K-example rows and aggregate expressions, returning :class:`Verdict`
+values rather than guesses (the user-study simulator layers coin flips on
+top of this module).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.abstraction.tree import AbstractionTree
+from repro.db.database import AnnotationRegistry
+from repro.db.tuples import Tuple
+from repro.provenance.kexample import AbstractedKExample, KExample
+from repro.semirings.semimodule import AggregateExpression
+
+DeletionPredicate = Callable[[Tuple], bool]
+
+
+class Verdict(enum.Enum):
+    """Three-valued answer to a what-if deletion question."""
+
+    SURVIVES = "survives"
+    DELETED = "deleted"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise TypeError(
+            "Verdict is three-valued; compare against Verdict members"
+        )
+
+
+class HypotheticalReasoner:
+    """Answers deletion questions over concrete or abstracted provenance."""
+
+    def __init__(
+        self,
+        registry: AnnotationRegistry,
+        tree: "AbstractionTree | None" = None,
+    ):
+        self._registry = registry
+        self._tree = tree
+
+    # -- concrete provenance ---------------------------------------------------
+
+    def row_survives(self, example: KExample, row_index: int,
+                     deleted: DeletionPredicate) -> Verdict:
+        """Exact answer for a concrete K-example row."""
+        row = example.rows[row_index]
+        for annotation in row.occurrences:
+            if deleted(self._registry.resolve(annotation)):
+                return Verdict.DELETED
+        return Verdict.SURVIVES
+
+    # -- abstracted provenance ---------------------------------------------------
+
+    def abstracted_row_survives(
+        self,
+        abstracted: AbstractedKExample,
+        row_index: int,
+        deleted: DeletionPredicate,
+    ) -> Verdict:
+        """Three-valued answer for an abstracted row.
+
+        Requires the reasoner to have been built with the abstraction tree
+        (to resolve which leaves an abstract label may stand for).
+        """
+        if self._tree is None:
+            raise ValueError("an abstraction tree is required for abstracted rows")
+        row = abstracted.rows[row_index]
+        unknown = False
+        for label in row.occurrences:
+            if label in self._tree and not self._tree.is_leaf(label):
+                fates = {
+                    deleted(self._registry.resolve(leaf))
+                    for leaf in self._tree.leaves_under(label)
+                }
+                if fates == {True}:
+                    return Verdict.DELETED
+                if True in fates:
+                    unknown = True
+            elif deleted(self._registry.resolve(label)):
+                return Verdict.DELETED
+        return Verdict.UNKNOWN if unknown else Verdict.SURVIVES
+
+    # -- aggregates ------------------------------------------------------------
+
+    def aggregate_after_deletion(
+        self,
+        expression: AggregateExpression,
+        deleted: DeletionPredicate,
+    ) -> "float | None":
+        """Re-evaluate an aggregate after deleting matching tuples.
+
+        Tensor terms whose annotation uses a deleted tuple drop out; the
+        rest are folded with the aggregate's monoid.  Returns ``None`` when
+        no term survives.  Annotations must be concrete (aggregate
+        abstraction keeps values exact but makes survival three-valued;
+        use :meth:`abstracted_aggregate_bounds` for that case).
+        """
+        surviving = []
+        for term in expression.terms:
+            if not any(
+                deleted(self._registry.resolve(ann))
+                for ann in term.annotation.variables()
+            ):
+                surviving.append(term)
+        if not surviving:
+            return None
+        return AggregateExpression(expression.op, surviving).evaluate()
+
+    def abstracted_aggregate_bounds(
+        self,
+        expression: AggregateExpression,
+        deleted: DeletionPredicate,
+    ) -> "tuple[float, float] | None":
+        """(lower, upper) bounds on the post-deletion aggregate value.
+
+        A term with an abstract annotation may or may not survive; the
+        bounds are taken over both possibilities.  ``None`` when even the
+        optimistic case keeps no term.
+        """
+        if self._tree is None:
+            raise ValueError("an abstraction tree is required")
+        certain, maybe = [], []
+        for term in expression.terms:
+            verdict = self._term_verdict(term.annotation.variables(), deleted)
+            if verdict is Verdict.SURVIVES:
+                certain.append(term)
+            elif verdict is Verdict.UNKNOWN:
+                maybe.append(term)
+        if not certain and not maybe:
+            return None
+        candidates = []
+        subsets = [certain] if certain else []
+        if maybe:
+            subsets.append(certain + maybe)
+            if certain:
+                subsets.extend(certain + [m] for m in maybe)
+        for subset in subsets:
+            if subset:
+                candidates.append(
+                    AggregateExpression(expression.op, subset).evaluate()
+                )
+        if not candidates:
+            return None
+        return (min(candidates), max(candidates))
+
+    def _term_verdict(self, labels, deleted: DeletionPredicate) -> Verdict:
+        assert self._tree is not None
+        unknown = False
+        for label in labels:
+            if label in self._tree and not self._tree.is_leaf(label):
+                fates = {
+                    deleted(self._registry.resolve(leaf))
+                    for leaf in self._tree.leaves_under(label)
+                }
+                if fates == {True}:
+                    return Verdict.DELETED
+                if True in fates:
+                    unknown = True
+            elif deleted(self._registry.resolve(label)):
+                return Verdict.DELETED
+        return Verdict.UNKNOWN if unknown else Verdict.SURVIVES

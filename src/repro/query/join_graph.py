@@ -1,0 +1,38 @@
+"""Join graphs and connectivity of queries.
+
+The join graph of a CQ has the body atoms as nodes with an edge between two
+atoms iff they share at least one *variable* (Section 3.3).  A query is
+connected iff its join graph is; a UCQ is connected iff every disjunct is
+(the Table 4 adjustment for the UCQ case).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.query.ast import CQ, UCQ
+
+
+def join_graph(query: CQ) -> nx.Graph:
+    """The join graph of a CQ as a networkx graph over atom indexes."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(query.body)))
+    for i, atom_a in enumerate(query.body):
+        vars_a = atom_a.variables()
+        for j in range(i + 1, len(query.body)):
+            if vars_a & query.body[j].variables():
+                graph.add_edge(i, j)
+    return graph
+
+
+def is_connected(query: "CQ | UCQ") -> bool:
+    """True iff the query's join graph is connected.
+
+    Single-atom bodies are connected by convention.  For a UCQ, every
+    disjunct must be connected.
+    """
+    if isinstance(query, UCQ):
+        return all(is_connected(cq) for cq in query.disjuncts)
+    if len(query.body) <= 1:
+        return True
+    return nx.is_connected(join_graph(query))

@@ -1,0 +1,39 @@
+"""CQ minimization: computing the core of a conjunctive query.
+
+A CQ is *minimal* if no body atom can be removed while preserving
+equivalence.  Removing atoms only enlarges the answer set, so an atom is
+redundant iff the reduced query is still contained in the original —
+i.e. iff there is a homomorphism from the original onto the reduced body.
+Iterating to a fixpoint yields the core, which is unique up to isomorphism.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.query.ast import CQ
+from repro.query.containment import find_homomorphism
+
+
+def minimize_cq(query: CQ) -> CQ:
+    """The core of ``query``: an equivalent CQ with an irredundant body."""
+    body = list(query.body)
+    changed = True
+    while changed and len(body) > 1:
+        changed = False
+        for index in range(len(body)):
+            reduced_body = body[:index] + body[index + 1:]
+            try:
+                reduced = CQ(query.head, reduced_body)
+            except ParseError:
+                # Removing the atom would unbind a head variable.
+                continue
+            if find_homomorphism(query, reduced) is not None:
+                body = reduced_body
+                changed = True
+                break
+    return CQ(query.head, body)
+
+
+def is_minimal(query: CQ) -> bool:
+    """True iff no body atom of ``query`` is redundant."""
+    return len(minimize_cq(query).body) == len(query.body)

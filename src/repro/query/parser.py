@@ -1,0 +1,128 @@
+"""A small datalog-style parser for CQs and UCQs.
+
+Grammar (whitespace-insensitive)::
+
+    ucq    := cq ( ";" cq )*
+    cq     := atom ":-" atom ("," atom)*
+    atom   := NAME "(" term ("," term)* ")"
+    term   := NAME            -- variable (lowercase start)
+            | 'text' | "text" -- string constant
+            | 123 | 1.5       -- numeric constant
+
+Example::
+
+    parse_cq("Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', src)")
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.query.ast import CQ, UCQ, Atom, Constant, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<lparen>\() |
+        (?P<rparen>\)) |
+        (?P<comma>,) |
+        (?P<implies>:-) |
+        (?P<semicolon>;) |
+        (?P<string>'[^']*'|"[^"]*") |
+        (?P<number>-?\d+(?:\.\d+)?) |
+        (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:pos + 20]
+            raise ParseError(f"unexpected input at position {pos}: {remainder!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind is not None:
+            tokens.append((kind, match.group(kind)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> "tuple[str, str] | None":
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _expect(self, kind: str) -> str:
+        token = self._peek()
+        if token is None or token[0] != kind:
+            raise ParseError(f"expected {kind}, got {token}")
+        self._pos += 1
+        return token[1]
+
+    def parse_term(self):
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in term")
+        kind, text = token
+        self._pos += 1
+        if kind == "string":
+            return Constant(text[1:-1])
+        if kind == "number":
+            value = float(text) if "." in text else int(text)
+            return Constant(value)
+        if kind == "name":
+            return Variable(text)
+        raise ParseError(f"unexpected token in term: {text!r}")
+
+    def parse_atom(self) -> Atom:
+        relation = self._expect("name")
+        self._expect("lparen")
+        terms = [self.parse_term()]
+        while self._peek() is not None and self._peek()[0] == "comma":
+            self._pos += 1
+            terms.append(self.parse_term())
+        self._expect("rparen")
+        return Atom(relation, terms)
+
+    def parse_cq(self) -> CQ:
+        head = self.parse_atom()
+        self._expect("implies")
+        body = [self.parse_atom()]
+        while self._peek() is not None and self._peek()[0] == "comma":
+            self._pos += 1
+            body.append(self.parse_atom())
+        return CQ(head, body)
+
+    def parse_ucq(self) -> UCQ:
+        disjuncts = [self.parse_cq()]
+        while self._peek() is not None and self._peek()[0] == "semicolon":
+            self._pos += 1
+            disjuncts.append(self.parse_cq())
+        if self._peek() is not None:
+            raise ParseError(f"trailing input: {self._peek()}")
+        return UCQ(disjuncts)
+
+
+def parse_cq(text: str) -> CQ:
+    """Parse a single conjunctive query from datalog syntax."""
+    parser = _Parser(_tokenize(text))
+    cq = parser.parse_cq()
+    if parser._peek() is not None:
+        raise ParseError(f"trailing input: {parser._peek()}")
+    return cq
+
+
+def parse_ucq(text: str) -> UCQ:
+    """Parse a semicolon-separated union of conjunctive queries."""
+    return _Parser(_tokenize(text)).parse_ucq()

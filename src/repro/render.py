@@ -1,0 +1,92 @@
+"""Human-readable rendering: trees, K-examples, queries, results.
+
+Everything here returns plain strings (no terminal control codes) so the
+output can go to logs, docs, and tests alike.
+"""
+
+from __future__ import annotations
+
+from repro.abstraction.tree import AbstractionTree, TreeNode
+from repro.core.optimizer import OptimalAbstractionResult
+from repro.provenance.kexample import AbstractedKExample, KExample
+from repro.query.ast import CQ, UCQ
+
+
+def render_tree(
+    tree: AbstractionTree,
+    highlight: "set[str] | frozenset[str] | None" = None,
+    max_children: int = 12,
+) -> str:
+    """ASCII art of an abstraction tree.
+
+    ``highlight`` labels get a ``*`` marker (e.g. the K-example's
+    variables); sibling lists longer than ``max_children`` are elided.
+    """
+    highlight = highlight or frozenset()
+    lines: list[str] = []
+
+    def walk(node: TreeNode, prefix: str, is_last: bool) -> None:
+        connector = "" if node.is_root else ("`-- " if is_last else "|-- ")
+        marker = " *" if node.label in highlight else ""
+        lines.append(f"{prefix}{connector}{node.label}{marker}")
+        child_prefix = prefix if node.is_root else (
+            prefix + ("    " if is_last else "|   ")
+        )
+        children = node.children
+        shown = children[:max_children]
+        for index, child in enumerate(shown):
+            last = index == len(shown) - 1 and len(children) <= max_children
+            walk(child, child_prefix, last)
+        if len(children) > max_children:
+            lines.append(
+                f"{child_prefix}`-- ... ({len(children) - max_children} more)"
+            )
+
+    walk(tree.root, "", True)
+    return "\n".join(lines)
+
+
+def render_kexample(example: "KExample | AbstractedKExample") -> str:
+    """The paper's two-column K-example layout (Figure 2)."""
+    rows = example.rows
+    outputs = [", ".join(str(v) for v in row.output) for row in rows]
+    provs = [repr(row.monomial()) for row in rows]
+    out_width = max(len("Output"), *(len(o) for o in outputs))
+    lines = [
+        f"{'Output'.ljust(out_width)} | Provenance",
+        f"{'-' * out_width}-+-{'-' * max(len('Provenance'), *(len(p) for p in provs))}",
+    ]
+    for output, prov in zip(outputs, provs):
+        lines.append(f"{output.ljust(out_width)} | {prov}")
+    return "\n".join(lines)
+
+
+def render_query(query: "CQ | UCQ") -> str:
+    """Datalog text for a query (re-parsable by :func:`repro.parse_cq`)."""
+    if isinstance(query, UCQ):
+        return "; ".join(render_query(cq) for cq in query.disjuncts)
+    head = repr(query.head)
+    body = ", ".join(repr(atom) for atom in query.body)
+    return f"{head} :- {body}"
+
+
+def render_result(result: OptimalAbstractionResult) -> str:
+    """A short report for an optimization outcome."""
+    if not result.found or result.abstracted is None:
+        return (
+            "no abstraction met the threshold "
+            f"(scanned {result.stats.candidates_scanned} candidates in "
+            f"{result.stats.elapsed_seconds:.2f}s)"
+        )
+    lines = [
+        f"privacy             : {result.privacy}",
+        f"loss of information : {result.loi:.4f}",
+        f"tree edges used     : {result.edges_used}",
+        f"candidates scanned  : {result.stats.candidates_scanned}",
+        f"privacy computations: {result.stats.privacy_computations}",
+        f"elapsed             : {result.stats.elapsed_seconds:.2f}s",
+        "abstracted K-example:",
+    ]
+    for row_line in render_kexample(result.abstracted).splitlines():
+        lines.append(f"  {row_line}")
+    return "\n".join(lines)

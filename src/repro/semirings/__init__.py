@@ -1,0 +1,52 @@
+"""Provenance semirings (Green et al., PODS 2007) and coarser variants.
+
+The fine-grained model is ``N[X]`` — polynomials with natural-number
+coefficients over a set of tuple annotations.  Coarser semirings are obtained
+by forgetting structure:
+
+============  ==================================================
+``N[X]``      full polynomials (coefficients and exponents)
+``B[X]``      drop coefficients
+``Trio(X)``   drop exponents
+``Why(X)``    drop coefficients and exponents (sets of witness sets)
+``PosBool``   additionally absorb subsumed witnesses (antichain)
+``Lin(X)``    flatten to one set of contributing annotations
+============  ==================================================
+
+The hierarchy matters for the privacy analysis (Table 4 of the paper):
+the coarser the provenance shown in a K-example, the more queries are
+consistent with it.
+"""
+
+from repro.semirings.base import (
+    Semiring,
+    SemiringName,
+    coarsen,
+    get_semiring,
+)
+from repro.semirings.polynomial import Monomial, Polynomial
+from repro.semirings.semimodule import AggregateExpression, AggregateOp, AggregateTerm
+from repro.semirings.variants import (
+    BPolynomial,
+    Lineage,
+    PosBool,
+    Trio,
+    Why,
+)
+
+__all__ = [
+    "AggregateExpression",
+    "AggregateOp",
+    "AggregateTerm",
+    "BPolynomial",
+    "Lineage",
+    "Monomial",
+    "Polynomial",
+    "PosBool",
+    "Semiring",
+    "SemiringName",
+    "Trio",
+    "Why",
+    "coarsen",
+    "get_semiring",
+]

@@ -1,0 +1,142 @@
+"""The semiring registry: names, dispatch, and coarsening homomorphisms.
+
+Evaluation always happens in ``N[X]`` (the most informative model); the
+coarser views required by Table 4 of the paper are obtained afterwards via
+:func:`coarsen`, which applies the unique semiring homomorphism that
+preserves annotations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import SemiringError
+from repro.semirings.polynomial import Monomial, Polynomial
+from repro.semirings.variants import BPolynomial, Lineage, PosBool, Trio, Why
+
+
+class SemiringName(str, enum.Enum):
+    """Names of the supported provenance semirings."""
+
+    NX = "N[X]"
+    BX = "B[X]"
+    TRIO = "Trio(X)"
+    WHY = "Why(X)"
+    POSBOOL = "PosBool(X)"
+    LIN = "Lin(X)"
+
+    @classmethod
+    def parse(cls, name: "str | SemiringName") -> "SemiringName":
+        if isinstance(name, SemiringName):
+            return name
+        for member in cls:
+            if member.value == name or member.name == name.upper():
+                return member
+        raise SemiringError(f"unknown semiring: {name!r}")
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A provenance semiring: identities, operations, and the natural order.
+
+    Instances are obtained from :func:`get_semiring`; they bundle the value
+    type with its operations so generic code (the evaluator, the subsumption
+    check of Definition 3.8) can be written once.
+    """
+
+    name: SemiringName
+    zero: Any
+    one: Any
+    value_type: type
+    from_polynomial: Callable[[Polynomial], Any]
+
+    def add(self, a: Any, b: Any) -> Any:
+        return a + b
+
+    def mul(self, a: Any, b: Any) -> Any:
+        return a * b
+
+    def leq(self, a: Any, b: Any) -> bool:
+        """The natural order ``a <= b`` iff ``exists c. a + c = b``."""
+        return a <= b
+
+    def drops_exponents(self) -> bool:
+        """True if the semiring forgets how many times a tuple was used.
+
+        Relevant for the Table 4 adjustments: consistent-query search must
+        consider re-using tuples when exponents are not visible.
+        """
+        return self.name in (
+            SemiringName.TRIO,
+            SemiringName.WHY,
+            SemiringName.POSBOOL,
+            SemiringName.LIN,
+        )
+
+    def drops_coefficients(self) -> bool:
+        """True if the semiring forgets the number of derivations."""
+        return self.name is not SemiringName.NX
+
+
+_REGISTRY: dict[SemiringName, Semiring] = {
+    SemiringName.NX: Semiring(
+        name=SemiringName.NX,
+        zero=Polynomial.zero(),
+        one=Polynomial.one(),
+        value_type=Polynomial,
+        from_polynomial=lambda p: p,
+    ),
+    SemiringName.BX: Semiring(
+        name=SemiringName.BX,
+        zero=BPolynomial.zero(),
+        one=BPolynomial.one(),
+        value_type=BPolynomial,
+        from_polynomial=BPolynomial.from_polynomial,
+    ),
+    SemiringName.TRIO: Semiring(
+        name=SemiringName.TRIO,
+        zero=Trio.zero(),
+        one=Trio.one(),
+        value_type=Trio,
+        from_polynomial=Trio.from_polynomial,
+    ),
+    SemiringName.WHY: Semiring(
+        name=SemiringName.WHY,
+        zero=Why.zero(),
+        one=Why.one(),
+        value_type=Why,
+        from_polynomial=Why.from_polynomial,
+    ),
+    SemiringName.POSBOOL: Semiring(
+        name=SemiringName.POSBOOL,
+        zero=PosBool.zero(),
+        one=PosBool.one(),
+        value_type=PosBool,
+        from_polynomial=PosBool.from_polynomial,
+    ),
+    SemiringName.LIN: Semiring(
+        name=SemiringName.LIN,
+        zero=Lineage.zero(),
+        one=Lineage.one(),
+        value_type=Lineage,
+        from_polynomial=Lineage.from_polynomial,
+    ),
+}
+
+
+def get_semiring(name: "str | SemiringName") -> Semiring:
+    """Look up a semiring by name (``"N[X]"``, ``"Why(X)"``, ...)."""
+    return _REGISTRY[SemiringName.parse(name)]
+
+
+def coarsen(value: "Polynomial | Monomial", target: "str | SemiringName") -> Any:
+    """Apply the coarsening homomorphism from ``N[X]`` into ``target``."""
+    if isinstance(value, Monomial):
+        value = Polynomial({value: 1})
+    if not isinstance(value, Polynomial):
+        raise SemiringError(
+            f"can only coarsen N[X] values, got {type(value).__name__}"
+        )
+    return get_semiring(target).from_polynomial(value)

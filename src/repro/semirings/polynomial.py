@@ -1,0 +1,297 @@
+"""Provenance polynomials: the ``N[X]`` semiring.
+
+A :class:`Monomial` is a finite multiset of annotations (variables raised to
+positive integer exponents); a :class:`Polynomial` is a finite formal sum of
+monomials with positive natural-number coefficients.  Together they form the
+free commutative semiring over the annotation set ``X`` — the most
+informative provenance model (Green, Karvounarakis, Tannen 2007).
+
+Both classes are immutable and hashable so they can serve as dictionary keys
+throughout the caching layers of the privacy computation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Union
+
+AnnotationLike = Union[str, "Monomial", "Polynomial"]
+
+
+class Monomial:
+    """A product of annotations, e.g. ``p1 * h1 * i1`` or ``a^2 * b``.
+
+    Internally a sorted tuple of ``(variable, exponent)`` pairs with
+    ``exponent >= 1``.  The empty monomial is the multiplicative identity.
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, variables: Union[Mapping[str, int], Iterable[str], None] = None):
+        counts: dict[str, int] = {}
+        if variables is None:
+            pass
+        elif isinstance(variables, Mapping):
+            for var, exp in variables.items():
+                if exp < 0:
+                    raise ValueError(f"negative exponent for {var!r}: {exp}")
+                if exp:
+                    counts[str(var)] = counts.get(str(var), 0) + int(exp)
+        else:
+            for var in variables:
+                counts[str(var)] = counts.get(str(var), 0) + 1
+        self._items: tuple[tuple[str, int], ...] = tuple(sorted(counts.items()))
+        self._hash = hash(self._items)
+
+    @classmethod
+    def one(cls) -> "Monomial":
+        """The multiplicative identity (empty product)."""
+        return _ONE
+
+    @classmethod
+    def of(cls, *variables: str) -> "Monomial":
+        """Build a monomial from variable names, e.g. ``Monomial.of("a", "b")``."""
+        return cls(variables)
+
+    @property
+    def items(self) -> tuple[tuple[str, int], ...]:
+        """Sorted ``(variable, exponent)`` pairs."""
+        return self._items
+
+    def variables(self) -> frozenset[str]:
+        """The set of distinct annotations appearing in the monomial."""
+        return frozenset(var for var, _ in self._items)
+
+    def degree(self) -> int:
+        """Total degree: the number of annotation occurrences, with multiplicity."""
+        return sum(exp for _, exp in self._items)
+
+    def exponent(self, variable: str) -> int:
+        """Exponent of ``variable`` (0 if absent)."""
+        for var, exp in self._items:
+            if var == variable:
+                return exp
+        return 0
+
+    def expand(self) -> tuple[str, ...]:
+        """The monomial as a sorted tuple of occurrences, e.g. ``a^2 b -> (a, a, b)``."""
+        out: list[str] = []
+        for var, exp in self._items:
+            out.extend([var] * exp)
+        return tuple(out)
+
+    def support(self) -> "Monomial":
+        """Drop exponents: ``a^2 b -> a b`` (the Why(X)/Trio(X) view)."""
+        return Monomial({var: 1 for var, _ in self._items})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Monomial":
+        """Replace variables via ``mapping``; unmapped variables are kept.
+
+        Distinct variables mapped to the same target are merged (their
+        exponents add) — this is exactly what applying an abstraction
+        function to a monomial does.
+        """
+        counts: dict[str, int] = {}
+        for var, exp in self._items:
+            target = mapping.get(var, var)
+            counts[target] = counts.get(target, 0) + exp
+        return Monomial(counts)
+
+    def divides(self, other: "Monomial") -> bool:
+        """True iff this monomial's multiset is contained in ``other``'s."""
+        return all(other.exponent(var) >= exp for var, exp in self._items)
+
+    def __mul__(self, other: AnnotationLike) -> AnnotationLike:
+        if isinstance(other, Monomial):
+            counts = dict(self._items)
+            for var, exp in other._items:
+                counts[var] = counts.get(var, 0) + exp
+            return Monomial(counts)
+        if isinstance(other, str):
+            return self * Monomial.of(other)
+        if isinstance(other, Polynomial):
+            return Polynomial({self: 1}) * other
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: AnnotationLike) -> "Polynomial":
+        return Polynomial({self: 1}) + other
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Monomial) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Monomial") -> bool:
+        return self._items < other._items
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        if not self._items:
+            return "1"
+        parts = [var if exp == 1 else f"{var}^{exp}" for var, exp in self._items]
+        return "*".join(parts)
+
+
+_ONE = Monomial()
+
+
+class Polynomial:
+    """A formal sum of monomials with positive integer coefficients.
+
+    Supports semiring arithmetic (``+``, ``*``) and the natural order
+    ``<=`` of ``N[X]``: ``p <= q`` iff ``q - p`` has non-negative
+    coefficients (Definition 3.8 of the paper).
+    """
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Union[Mapping[Monomial, int], None] = None):
+        cleaned: dict[Monomial, int] = {}
+        if terms:
+            for mono, coeff in terms.items():
+                if coeff < 0:
+                    raise ValueError(f"negative coefficient for {mono!r}: {coeff}")
+                if coeff:
+                    cleaned[mono] = cleaned.get(mono, 0) + int(coeff)
+        self._terms: tuple[tuple[Monomial, int], ...] = tuple(
+            sorted(cleaned.items(), key=lambda kv: kv[0].items)
+        )
+        self._hash = hash(self._terms)
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """The additive identity (empty sum)."""
+        return _ZERO
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        """The multiplicative identity."""
+        return _POLY_ONE
+
+    @classmethod
+    def variable(cls, name: str) -> "Polynomial":
+        """The polynomial consisting of a single annotation."""
+        return cls({Monomial.of(name): 1})
+
+    @classmethod
+    def from_monomials(cls, monomials: Iterable[Monomial]) -> "Polynomial":
+        """Sum of the given monomials (duplicates accumulate coefficients)."""
+        terms: dict[Monomial, int] = {}
+        for mono in monomials:
+            terms[mono] = terms.get(mono, 0) + 1
+        return cls(terms)
+
+    @property
+    def terms(self) -> tuple[tuple[Monomial, int], ...]:
+        """Sorted ``(monomial, coefficient)`` pairs."""
+        return self._terms
+
+    def monomials(self) -> tuple[Monomial, ...]:
+        """The distinct monomials of the polynomial."""
+        return tuple(mono for mono, _ in self._terms)
+
+    def coefficient(self, monomial: Monomial) -> int:
+        """Coefficient of ``monomial`` (0 if absent)."""
+        for mono, coeff in self._terms:
+            if mono == monomial:
+                return coeff
+        return 0
+
+    def variables(self) -> frozenset[str]:
+        """All distinct annotations appearing anywhere in the polynomial."""
+        out: set[str] = set()
+        for mono, _ in self._terms:
+            out.update(mono.variables())
+        return frozenset(out)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Polynomial":
+        """Apply a variable substitution to every monomial."""
+        terms: dict[Monomial, int] = {}
+        for mono, coeff in self._terms:
+            renamed = mono.rename(mapping)
+            terms[renamed] = terms.get(renamed, 0) + coeff
+        return Polynomial(terms)
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def __add__(self, other: AnnotationLike) -> "Polynomial":
+        other = _as_polynomial(other)
+        if other is NotImplemented:
+            return NotImplemented
+        terms = {mono: coeff for mono, coeff in self._terms}
+        for mono, coeff in other._terms:
+            terms[mono] = terms.get(mono, 0) + coeff
+        return Polynomial(terms)
+
+    __radd__ = __add__
+
+    def __mul__(self, other: AnnotationLike) -> "Polynomial":
+        other = _as_polynomial(other)
+        if other is NotImplemented:
+            return NotImplemented
+        terms: dict[Monomial, int] = {}
+        for mono_a, coeff_a in self._terms:
+            for mono_b, coeff_b in other._terms:
+                prod = mono_a * mono_b
+                terms[prod] = terms.get(prod, 0) + coeff_a * coeff_b
+        return Polynomial(terms)
+
+    __rmul__ = __mul__
+
+    def __le__(self, other: "Polynomial") -> bool:
+        """Natural order of ``N[X]``: coefficient-wise comparison."""
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return all(other.coefficient(mono) >= coeff for mono, coeff in self._terms)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Polynomial) and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._terms)
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for mono, coeff in self._terms:
+            if not mono.items:
+                parts.append(str(coeff))
+            elif coeff == 1:
+                parts.append(repr(mono))
+            else:
+                parts.append(f"{coeff}*{mono!r}")
+        return " + ".join(parts)
+
+
+_ZERO = Polynomial()
+_POLY_ONE = Polynomial({Monomial(): 1})
+
+
+def _as_polynomial(value: AnnotationLike) -> Polynomial:
+    if isinstance(value, Polynomial):
+        return value
+    if isinstance(value, Monomial):
+        return Polynomial({value: 1})
+    if isinstance(value, str):
+        return Polynomial.variable(value)
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError("N[X] has no negative elements")
+        return Polynomial({Monomial(): value}) if value else Polynomial()
+    return NotImplemented

@@ -1,0 +1,120 @@
+"""Aggregate provenance: semimodule expressions (Amsterdamer et al., PODS'11).
+
+An aggregate query result is represented as a formal sum of tensors
+``monomial (x) value`` combined with the aggregate's monoid operation, e.g.::
+
+    (p1*h1*i1) (x) 27  +_MAX  (p2*h2*i2) (x) 31
+
+Abstraction functions act on the *annotation* part of each tensor only
+(Section 3.4 of the paper), which :meth:`AggregateExpression.rename`
+implements.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.semirings.polynomial import Monomial
+
+
+class AggregateOp(str, enum.Enum):
+    """The aggregation monoid used to combine tensor terms."""
+
+    MAX = "MAX"
+    MIN = "MIN"
+    SUM = "SUM"
+    COUNT = "COUNT"
+
+    def combine(self, values: Iterable[float]) -> float:
+        """Fold concrete values with the monoid operation."""
+        values = list(values)
+        if self is AggregateOp.MAX:
+            return max(values)
+        if self is AggregateOp.MIN:
+            return min(values)
+        if self is AggregateOp.SUM:
+            return sum(values)
+        return float(len(values))
+
+
+@dataclass(frozen=True)
+class AggregateTerm:
+    """A single tensor ``annotation (x) value``."""
+
+    annotation: Monomial
+    value: float
+
+    def rename(self, mapping: Mapping[str, str]) -> "AggregateTerm":
+        """Abstract the annotation part; the value part is untouched."""
+        return AggregateTerm(self.annotation.rename(mapping), self.value)
+
+    def __repr__(self) -> str:
+        return f"({self.annotation!r}) (x) {self.value:g}"
+
+
+class AggregateExpression:
+    """A sum of tensors under an aggregation monoid.
+
+    Immutable; terms are kept in a canonical sorted order so expressions
+    compare and hash structurally.
+    """
+
+    __slots__ = ("_op", "_terms")
+
+    def __init__(self, op: AggregateOp, terms: Iterable[AggregateTerm] = ()):
+        self._op = AggregateOp(op)
+        self._terms = tuple(
+            sorted(terms, key=lambda t: (t.annotation.items, t.value))
+        )
+
+    @property
+    def op(self) -> AggregateOp:
+        return self._op
+
+    @property
+    def terms(self) -> tuple[AggregateTerm, ...]:
+        return self._terms
+
+    def variables(self) -> frozenset[str]:
+        """All annotations appearing in any tensor term."""
+        out: set[str] = set()
+        for term in self._terms:
+            out.update(term.annotation.variables())
+        return frozenset(out)
+
+    def rename(self, mapping: Mapping[str, str]) -> "AggregateExpression":
+        """Apply an abstraction to the annotation side of every tensor."""
+        return AggregateExpression(
+            self._op, (term.rename(mapping) for term in self._terms)
+        )
+
+    def evaluate(self) -> float:
+        """Collapse the expression to the concrete aggregate value."""
+        if not self._terms:
+            raise ValueError("cannot evaluate an empty aggregate expression")
+        return self._op.combine(term.value for term in self._terms)
+
+    def __add__(self, other: "AggregateExpression") -> "AggregateExpression":
+        if self._op != other._op:
+            raise ValueError(
+                f"cannot combine {self._op.value} with {other._op.value}"
+            )
+        return AggregateExpression(self._op, self._terms + other._terms)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AggregateExpression)
+            and self._op == other._op
+            and self._terms == other._terms
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._op, self._terms))
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return f"0_{self._op.value}"
+        joiner = f" +{self._op.value} "
+        return joiner.join(repr(term) for term in self._terms)

@@ -1,0 +1,339 @@
+"""Coarser provenance semirings derived from ``N[X]``.
+
+Each class in this module is an immutable provenance value in one of the
+semirings of the Green hierarchy (see Table 4 of the paper).  All of them
+can be built from an ``N[X]`` :class:`~repro.semirings.polynomial.Polynomial`
+via their ``from_polynomial`` constructor, which is the semiring
+homomorphism that "forgets" the corresponding structure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.semirings.polynomial import Monomial, Polynomial
+
+
+class BPolynomial:
+    """``B[X]``: polynomials with Boolean coefficients (coefficients dropped).
+
+    Represented as a frozenset of monomials; exponents are preserved.
+    """
+
+    __slots__ = ("_monomials",)
+
+    def __init__(self, monomials: Iterable[Monomial] = ()):
+        self._monomials = frozenset(monomials)
+
+    @classmethod
+    def zero(cls) -> "BPolynomial":
+        return cls()
+
+    @classmethod
+    def one(cls) -> "BPolynomial":
+        return cls((Monomial.one(),))
+
+    @classmethod
+    def from_polynomial(cls, poly: Polynomial) -> "BPolynomial":
+        return cls(poly.monomials())
+
+    @property
+    def monomials(self) -> frozenset[Monomial]:
+        return self._monomials
+
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for mono in self._monomials:
+            out.update(mono.variables())
+        return frozenset(out)
+
+    def __add__(self, other: "BPolynomial") -> "BPolynomial":
+        return BPolynomial(self._monomials | other._monomials)
+
+    def __mul__(self, other: "BPolynomial") -> "BPolynomial":
+        return BPolynomial(
+            a * b for a in self._monomials for b in other._monomials
+        )
+
+    def __le__(self, other: "BPolynomial") -> bool:
+        """Natural order: set inclusion of monomials."""
+        return self._monomials <= other._monomials
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BPolynomial) and self._monomials == other._monomials
+
+    def __hash__(self) -> int:
+        return hash(("B[X]", self._monomials))
+
+    def __repr__(self) -> str:
+        if not self._monomials:
+            return "0"
+        return " + ".join(sorted(repr(m) for m in self._monomials))
+
+
+class Trio:
+    """``Trio(X)``: exponents dropped, coefficients kept (bags of witness sets)."""
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: dict[frozenset[str], int] | None = None):
+        cleaned = {}
+        if terms:
+            for witness, coeff in terms.items():
+                if coeff < 0:
+                    raise ValueError("Trio(X) has no negative coefficients")
+                if coeff:
+                    cleaned[frozenset(witness)] = cleaned.get(frozenset(witness), 0) + coeff
+        self._terms: tuple[tuple[frozenset[str], int], ...] = tuple(
+            sorted(cleaned.items(), key=lambda kv: sorted(kv[0]))
+        )
+
+    @classmethod
+    def zero(cls) -> "Trio":
+        return cls()
+
+    @classmethod
+    def one(cls) -> "Trio":
+        return cls({frozenset(): 1})
+
+    @classmethod
+    def from_polynomial(cls, poly: Polynomial) -> "Trio":
+        terms: dict[frozenset[str], int] = {}
+        for mono, coeff in poly.terms:
+            witness = mono.variables()
+            terms[witness] = terms.get(witness, 0) + coeff
+        return cls(terms)
+
+    @property
+    def terms(self) -> tuple[tuple[frozenset[str], int], ...]:
+        return self._terms
+
+    def witnesses(self) -> frozenset[frozenset[str]]:
+        return frozenset(w for w, _ in self._terms)
+
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for witness, _ in self._terms:
+            out.update(witness)
+        return frozenset(out)
+
+    def __add__(self, other: "Trio") -> "Trio":
+        terms = {w: c for w, c in self._terms}
+        for witness, coeff in other._terms:
+            terms[witness] = terms.get(witness, 0) + coeff
+        return Trio(terms)
+
+    def __mul__(self, other: "Trio") -> "Trio":
+        terms: dict[frozenset[str], int] = {}
+        for wit_a, coeff_a in self._terms:
+            for wit_b, coeff_b in other._terms:
+                joined = wit_a | wit_b
+                terms[joined] = terms.get(joined, 0) + coeff_a * coeff_b
+        return Trio(terms)
+
+    def __le__(self, other: "Trio") -> bool:
+        other_map = dict(other._terms)
+        return all(other_map.get(w, 0) >= c for w, c in self._terms)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Trio) and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(("Trio(X)", self._terms))
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for witness, coeff in self._terms:
+            body = "*".join(sorted(witness)) or "1"
+            parts.append(body if coeff == 1 else f"{coeff}*{body}")
+        return " + ".join(parts)
+
+
+class Why:
+    """``Why(X)``: witness sets without coefficients or exponents."""
+
+    __slots__ = ("_witnesses",)
+
+    def __init__(self, witnesses: Iterable[frozenset[str]] = ()):
+        self._witnesses = frozenset(frozenset(w) for w in witnesses)
+
+    @classmethod
+    def zero(cls) -> "Why":
+        return cls()
+
+    @classmethod
+    def one(cls) -> "Why":
+        return cls((frozenset(),))
+
+    @classmethod
+    def from_polynomial(cls, poly: Polynomial) -> "Why":
+        return cls(mono.variables() for mono in poly.monomials())
+
+    @property
+    def witnesses(self) -> frozenset[frozenset[str]]:
+        return self._witnesses
+
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for witness in self._witnesses:
+            out.update(witness)
+        return frozenset(out)
+
+    def __add__(self, other: "Why") -> "Why":
+        return Why(self._witnesses | other._witnesses)
+
+    def __mul__(self, other: "Why") -> "Why":
+        return Why(a | b for a in self._witnesses for b in other._witnesses)
+
+    def __le__(self, other: "Why") -> bool:
+        return self._witnesses <= other._witnesses
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Why) and self._witnesses == other._witnesses
+
+    def __hash__(self) -> int:
+        return hash(("Why(X)", self._witnesses))
+
+    def __repr__(self) -> str:
+        if not self._witnesses:
+            return "0"
+        return " + ".join(
+            sorted("*".join(sorted(w)) or "1" for w in self._witnesses)
+        )
+
+
+class PosBool:
+    """``PosBool(X)``: like Why(X) but subsumed witnesses are absorbed.
+
+    Only inclusion-minimal witness sets are kept (the irredundant DNF of the
+    positive Boolean provenance expression).
+    """
+
+    __slots__ = ("_witnesses",)
+
+    def __init__(self, witnesses: Iterable[frozenset[str]] = ()):
+        self._witnesses = _absorb(frozenset(frozenset(w) for w in witnesses))
+
+    @classmethod
+    def zero(cls) -> "PosBool":
+        return cls()
+
+    @classmethod
+    def one(cls) -> "PosBool":
+        return cls((frozenset(),))
+
+    @classmethod
+    def from_polynomial(cls, poly: Polynomial) -> "PosBool":
+        return cls(mono.variables() for mono in poly.monomials())
+
+    @property
+    def witnesses(self) -> frozenset[frozenset[str]]:
+        return self._witnesses
+
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for witness in self._witnesses:
+            out.update(witness)
+        return frozenset(out)
+
+    def __add__(self, other: "PosBool") -> "PosBool":
+        return PosBool(self._witnesses | other._witnesses)
+
+    def __mul__(self, other: "PosBool") -> "PosBool":
+        return PosBool(a | b for a in self._witnesses for b in other._witnesses)
+
+    def __le__(self, other: "PosBool") -> bool:
+        """Natural order: every witness here is implied by a smaller one there."""
+        return all(
+            any(theirs <= mine for theirs in other._witnesses)
+            for mine in self._witnesses
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PosBool) and self._witnesses == other._witnesses
+
+    def __hash__(self) -> int:
+        return hash(("PosBool(X)", self._witnesses))
+
+    def __repr__(self) -> str:
+        if not self._witnesses:
+            return "0"
+        return " + ".join(
+            sorted("*".join(sorted(w)) or "1" for w in self._witnesses)
+        )
+
+
+class Lineage:
+    """``Lin(X)``: the flat set of all annotations that contributed.
+
+    The coarsest model; the paper notes (Section 4) that privacy analysis
+    under ``Lin(X)`` degenerates because the natural order is plain set
+    containment, so any subset of the lineage is valid provenance.
+    """
+
+    __slots__ = ("_variables", "_nonzero")
+
+    def __init__(self, variables: Iterable[str] = (), nonzero: bool = True):
+        self._variables = frozenset(variables)
+        self._nonzero = bool(nonzero) or bool(self._variables)
+
+    @classmethod
+    def zero(cls) -> "Lineage":
+        return cls((), nonzero=False)
+
+    @classmethod
+    def one(cls) -> "Lineage":
+        return cls((), nonzero=True)
+
+    @classmethod
+    def from_polynomial(cls, poly: Polynomial) -> "Lineage":
+        return cls(poly.variables(), nonzero=bool(poly))
+
+    @property
+    def variables_set(self) -> frozenset[str]:
+        return self._variables
+
+    def variables(self) -> frozenset[str]:
+        return self._variables
+
+    def __add__(self, other: "Lineage") -> "Lineage":
+        return Lineage(
+            self._variables | other._variables,
+            nonzero=self._nonzero or other._nonzero,
+        )
+
+    def __mul__(self, other: "Lineage") -> "Lineage":
+        if not (self._nonzero and other._nonzero):
+            return Lineage.zero()
+        return Lineage(self._variables | other._variables)
+
+    def __le__(self, other: "Lineage") -> bool:
+        if not self._nonzero:
+            return True
+        return other._nonzero and self._variables <= other._variables
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Lineage)
+            and self._variables == other._variables
+            and self._nonzero == other._nonzero
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Lin(X)", self._variables, self._nonzero))
+
+    def __repr__(self) -> str:
+        if not self._nonzero:
+            return "0"
+        return "{" + ", ".join(sorted(self._variables)) + "}"
+
+
+def _absorb(witnesses: frozenset[frozenset[str]]) -> frozenset[frozenset[str]]:
+    """Keep only inclusion-minimal witness sets."""
+    minimal = set()
+    for witness in sorted(witnesses, key=len):
+        if not any(kept <= witness for kept in minimal):
+            minimal.add(witness)
+    return frozenset(minimal)

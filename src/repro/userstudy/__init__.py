@@ -1,0 +1,17 @@
+"""Simulated user study (Table 7 / Figure 20 substitution)."""
+
+from repro.userstudy.simulator import (
+    HypotheticalQuestion,
+    UserStudyResult,
+    generate_questions,
+    run_user_study,
+    simulate_query_inference,
+)
+
+__all__ = [
+    "HypotheticalQuestion",
+    "UserStudyResult",
+    "generate_questions",
+    "run_user_study",
+    "simulate_query_inference",
+]

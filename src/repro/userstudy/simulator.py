@@ -1,0 +1,270 @@
+"""A simulated replication of the paper's user study (Section 5.2).
+
+The paper ran 12 database-literate users in two groups: Group A saw a
+K-example with its *original* provenance, Group B the *abstracted*
+provenance plus the abstraction tree.  Tasks: (1) infer the underlying
+query, (2) answer 10 hypothetical questions about the effect of deleting
+rows on the query results.  Results (Table 7): 6/6 vs 0/6 identification,
+9.6/10 vs 8.5/10 question accuracy.
+
+Human subjects are not reproducible offline, so both tasks are simulated
+by programs that exercise the same information:
+
+* Query inference is the CIM-query attack itself: a user identifies the
+  query iff exactly one CIM query fits what they see and it is equivalent
+  to the real one.  Abstractions with privacy >= 2 defeat this by
+  construction.
+* Hypothetical questions are answered by an exact reasoner over the
+  (possibly abstracted) provenance: an occurrence's fate under a deletion
+  predicate is *known* if it is concrete, or if every/no leaf below its
+  abstract label is deleted; otherwise the simulated user must guess.
+  A small lapse rate models the "misunderstandings or lack of
+  concentration" the paper reports for Group A.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.abstraction.tree import AbstractionTree
+from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
+from repro.core.privacy import PrivacyComputer
+from repro.db.database import KDatabase
+from repro.db.tuples import Tuple
+from repro.provenance.kexample import AbstractedKExample, KExample
+from repro.query.ast import CQ
+from repro.query.containment import is_contained_in, is_equivalent
+
+
+@dataclass(frozen=True)
+class HypotheticalQuestion:
+    """'If the tuples matching ``predicate`` were deleted, would output row
+    ``row_index`` still be derivable?'"""
+
+    description: str
+    predicate: Callable[[Tuple], bool]
+    row_index: int
+
+    def ground_truth(self, example: KExample) -> bool:
+        """True iff the row survives the deletion (no used tuple deleted)."""
+        row = example.rows[self.row_index]
+        return not any(
+            self.predicate(example.tuple_of(ann)) for ann in row.occurrences
+        )
+
+
+@dataclass
+class UserStudyResult:
+    """Aggregate outcomes in the shape of Table 7 and Figure 20."""
+
+    group_a_identified: int
+    group_b_identified: int
+    group_size: int
+    group_a_correct: list[int]  # per question: # of group-A users correct
+    group_b_correct: list[int]
+    n_questions: int
+
+    @property
+    def group_a_accuracy(self) -> float:
+        return sum(self.group_a_correct) / (self.group_size * self.n_questions)
+
+    @property
+    def group_b_accuracy(self) -> float:
+        return sum(self.group_b_correct) / (self.group_size * self.n_questions)
+
+    def summary(self) -> str:
+        return (
+            f"identification: A {self.group_a_identified}/{self.group_size}, "
+            f"B {self.group_b_identified}/{self.group_size}; "
+            f"question accuracy: A {self.group_a_accuracy:.0%}, "
+            f"B {self.group_b_accuracy:.0%}"
+        )
+
+
+def simulate_query_inference(
+    computer: PrivacyComputer,
+    abstracted: AbstractedKExample,
+    real_query: CQ,
+) -> bool:
+    """Whether a user can pin down the query from what they see.
+
+    Succeeds iff the CIM attack yields exactly one candidate and that
+    candidate is the real query or a data-determined specialization of it
+    (e.g. the example pins 'Kevin Bacon, born 1958' although the query only
+    names him — a human would still say they identified the query).
+    """
+    cims = computer.cim_queries(abstracted)
+    if len(cims) != 1:
+        return False
+    (candidate,) = cims
+    return is_equivalent(candidate, real_query) or is_contained_in(
+        candidate, real_query
+    )
+
+
+def _answer_with_abstraction(
+    question: HypotheticalQuestion,
+    abstracted: AbstractedKExample,
+    tree: AbstractionTree,
+    example: KExample,
+    rng: random.Random,
+) -> bool:
+    """A Group-B user's answer: exact when determinable, a guess otherwise."""
+    row = abstracted.rows[question.row_index]
+    definitely_deleted = False
+    any_unknown = False
+    for label in row.occurrences:
+        if label in tree and not tree.is_leaf(label):
+            leaf_fates = {
+                question.predicate(example.registry.resolve(leaf))
+                for leaf in tree.leaves_under(label)
+            }
+            if leaf_fates == {True}:
+                definitely_deleted = True
+            elif True in leaf_fates:
+                any_unknown = True
+        else:
+            if question.predicate(example.registry.resolve(label)):
+                definitely_deleted = True
+    if definitely_deleted:
+        return False  # the row does not survive
+    if any_unknown:
+        return rng.random() < 0.5  # undetermined: coin flip
+    return True
+
+
+def generate_questions(
+    example: KExample,
+    database: KDatabase,
+    n_questions: int = 10,
+    seed: int = 0,
+) -> list[HypotheticalQuestion]:
+    """Deletion questions mixing hits and misses over the example's rows.
+
+    Half the questions target (relation, column, value) triples drawn from
+    tuples the provenance actually uses (deletions that kill the row), half
+    from unrelated tuples (deletions that spare it).
+    """
+    rng = random.Random(seed)
+    questions: list[HypotheticalQuestion] = []
+
+    used: list[Tuple] = []
+    for row in example.rows:
+        used.extend(example.tuple_of(ann) for ann in row.occurrences)
+    used_annotations = {t.annotation for t in used}
+    unused = [
+        t for t in database.tuples() if t.annotation not in used_annotations
+    ]
+    rng.shuffle(unused)
+
+    def add(source: Tuple, row_index: int) -> None:
+        column = rng.randrange(source.arity)
+        value = source.values[column]
+        relation = source.relation
+
+        def predicate(t: Tuple, relation=relation, column=column, value=value):
+            return t.relation == relation and t.values[column] == value
+
+        questions.append(HypotheticalQuestion(
+            description=(
+                f"delete all {relation} rows with "
+                f"{database.schema.relation(relation).attributes[column]}"
+                f" = {value!r}; does output row {row_index} survive?"
+            ),
+            predicate=predicate,
+            row_index=row_index,
+        ))
+
+    while len(questions) < n_questions:
+        row_index = rng.randrange(len(example.rows))
+        if len(questions) % 2 == 0:
+            row = example.rows[row_index]
+            ann = rng.choice(row.occurrences)
+            add(example.tuple_of(ann), row_index)
+        elif unused:
+            add(unused[len(questions) % len(unused)], row_index)
+        else:
+            add(rng.choice(used), row_index)
+    return questions[:n_questions]
+
+
+def run_user_study(
+    example: KExample,
+    real_query: CQ,
+    tree: AbstractionTree,
+    threshold: int = 2,
+    group_size: int = 6,
+    n_questions: int = 10,
+    lapse_rate: float = 0.04,
+    seed: int = 0,
+    questions: Optional[Sequence[HypotheticalQuestion]] = None,
+    database: Optional[KDatabase] = None,
+) -> UserStudyResult:
+    """Run the full simulated study for one query and tree.
+
+    Group A receives ``example`` as-is; Group B receives the optimal
+    abstraction at ``threshold``.  ``lapse_rate`` is the per-question
+    probability that a user errs despite knowing the answer (the paper's
+    Group A scored 9.6/10, not 10/10).
+    """
+    rng = random.Random(seed)
+    result = find_optimal_abstraction(
+        example, tree, threshold,
+        config=OptimizerConfig(max_candidates=20_000),
+    )
+    if not result.found or result.abstracted is None:
+        raise ValueError(
+            f"no abstraction with privacy >= {threshold}; "
+            "use a larger tree or a smaller threshold"
+        )
+    abstracted = result.abstracted
+
+    computer = PrivacyComputer(tree, example.registry)
+    identity = _identity_abstraction(example, tree)
+
+    a_identifies = simulate_query_inference(computer, identity, real_query)
+    b_identifies = simulate_query_inference(computer, abstracted, real_query)
+
+    if questions is None:
+        if database is None:
+            raise ValueError("database is required to generate questions")
+        questions = generate_questions(
+            example, database, n_questions=n_questions, seed=seed
+        )
+    n_questions = len(questions)
+
+    a_correct = [0] * n_questions
+    b_correct = [0] * n_questions
+    for _user in range(group_size):
+        for q_index, question in enumerate(questions):
+            truth = question.ground_truth(example)
+            # Group A: exact knowledge, occasional lapse.
+            a_answer = truth if rng.random() >= lapse_rate else not truth
+            if a_answer == truth:
+                a_correct[q_index] += 1
+            # Group B: reason over the abstraction, occasional lapse.
+            b_exact = _answer_with_abstraction(
+                question, abstracted, tree, example, rng
+            )
+            b_answer = b_exact if rng.random() >= lapse_rate else not b_exact
+            if b_answer == truth:
+                b_correct[q_index] += 1
+
+    return UserStudyResult(
+        group_a_identified=group_size if a_identifies else 0,
+        group_b_identified=group_size if b_identifies else 0,
+        group_size=group_size,
+        group_a_correct=a_correct,
+        group_b_correct=b_correct,
+        n_questions=n_questions,
+    )
+
+
+def _identity_abstraction(
+    example: KExample, tree: AbstractionTree
+) -> AbstractedKExample:
+    from repro.abstraction.function import AbstractionFunction
+
+    return AbstractionFunction.identity(tree, example).apply(example)

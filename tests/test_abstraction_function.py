@@ -1,0 +1,186 @@
+"""Tests for abstraction functions and K-example abstraction."""
+
+import pytest
+
+from repro.abstraction.function import AbstractionFunction
+from repro.errors import AbstractionError
+from repro.provenance.builder import build_aggregate_example
+from repro.semirings.semimodule import AggregateOp
+from repro.examples_data import Q_REAL
+from repro.query.parser import parse_cq
+
+
+class TestValidation:
+    def test_identity(self, paper_tree, paper_example):
+        function = AbstractionFunction.identity(paper_tree, paper_example)
+        assert function.num_abstracted() == 0
+        assert function.apply(paper_example).rows[0] == paper_example.rows[0]
+
+    def test_non_ancestor_rejected(self, paper_tree, paper_example):
+        with pytest.raises(AbstractionError):
+            AbstractionFunction.uniform(
+                paper_tree, paper_example, {"h1": "LinkedIn"}
+            )
+
+    def test_non_leaf_source_rejected(self, paper_tree, paper_example):
+        # p1 is not in the tree at all; abstracting it is impossible.
+        with pytest.raises(AbstractionError):
+            AbstractionFunction.uniform(
+                paper_tree, paper_example, {"p1": "Facebook"}
+            )
+
+    def test_bad_position_rejected(self, paper_tree, paper_example):
+        with pytest.raises(AbstractionError):
+            AbstractionFunction(paper_tree, paper_example, {(99, 0): "Facebook"})
+        with pytest.raises(AbstractionError):
+            AbstractionFunction(paper_tree, paper_example, {(0, 99): "Facebook"})
+
+    def test_identity_targets_are_dropped(self, paper_tree, paper_example):
+        function = AbstractionFunction.uniform(
+            paper_tree, paper_example, {"h1": "h1"}
+        )
+        assert function.num_abstracted() == 0
+
+
+class TestApplication:
+    def test_paper_a1(self, paper_tree, paper_example):
+        """A1_T of Figure 4 produces Ex_abs1 of Figure 5."""
+        function = AbstractionFunction.uniform(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        abstracted = function.apply(paper_example)
+        assert abstracted.rows[0].occurrences == ("Facebook", "i1", "p1")
+        assert abstracted.rows[1].occurrences == ("LinkedIn", "i2", "p2")
+        assert abstracted.num_abstracted() == 2
+
+    def test_paper_a3(self, paper_tree, paper_example):
+        function = AbstractionFunction.uniform(
+            paper_tree, paper_example, {"i1": "WikiLeaks"}
+        )
+        abstracted = function.apply(paper_example)
+        assert "WikiLeaks" in abstracted.rows[0].occurrences
+        assert abstracted.rows[1].occurrences == ("h2", "i2", "p2")
+
+    def test_per_occurrence_assignment(self, paper_tree, paper_example):
+        """Definition 3.1: different occurrences may map differently."""
+        # Row 0's h1 occurrence only (occurrence order is sorted: h1, i1, p1).
+        function = AbstractionFunction(
+            paper_tree, paper_example, {(0, 0): "Social Network"}
+        )
+        abstracted = function.apply(paper_example)
+        assert "Social Network" in abstracted.rows[0].occurrences
+        assert abstracted.rows[1] == paper_example.rows[1]
+
+    def test_source_tracked(self, paper_tree, paper_example):
+        function = AbstractionFunction.uniform(
+            paper_tree, paper_example, {"h1": "Facebook"}
+        )
+        abstracted = function.apply(paper_example)
+        assert abstracted.source is paper_example
+        assert abstracted.mapping == {(0, 0): "Facebook"}
+
+
+class TestEdgesUsed:
+    def test_single_step(self, paper_tree, paper_example):
+        function = AbstractionFunction.uniform(
+            paper_tree, paper_example, {"h1": "Facebook"}
+        )
+        assert function.edges_used(paper_example) == 1
+
+    def test_two_steps(self, paper_tree, paper_example):
+        function = AbstractionFunction.uniform(
+            paper_tree, paper_example, {"h1": "Social Network"}
+        )
+        assert function.edges_used(paper_example) == 2
+
+    def test_shared_edges_counted_once(self, paper_tree, paper_example):
+        """i1 and i2 both to the root: their paths share no edges, but two
+        variables through the same parent would."""
+        function = AbstractionFunction.uniform(
+            paper_tree, paper_example,
+            {"h1": "Social Network", "h2": "Social Network"},
+        )
+        # h1 -> Facebook -> SN and h2 -> LinkedIn -> SN: 4 distinct edges.
+        assert function.edges_used(paper_example) == 4
+
+    def test_identity_uses_no_edges(self, paper_tree, paper_example):
+        function = AbstractionFunction.identity(paper_tree, paper_example)
+        assert function.edges_used(paper_example) == 0
+
+
+class TestAggregateAbstraction:
+    def test_paper_section_34(self, paper_db, paper_tree, paper_example):
+        max_age = parse_cq(
+            "Q(age) :- Person(id, name, age), Hobbies(id, 'Dance', s1),"
+            " Interests(id, 'Music', s2)"
+        )
+        expression = build_aggregate_example(max_age, paper_db, AggregateOp.MAX, 0)
+        function = AbstractionFunction.uniform(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        abstracted = function.apply_to_aggregate(paper_example, expression)
+        annotations = {repr(t.annotation) for t in abstracted.terms}
+        assert "Facebook*i1*p1" in annotations
+        assert "LinkedIn*i2*p2" in annotations
+        assert abstracted.evaluate() == expression.evaluate() == 31.0
+
+    def test_non_uniform_assignment_rejected(self, paper_tree, paper_example):
+        both_rows_h = AbstractionFunction(
+            paper_tree, paper_example,
+            {(0, 0): "Facebook", (1, 0): "Social Network"},
+        )
+        # h1 maps one way, h2 another — fine; but the same variable mapping
+        # two ways across occurrences is rejected for aggregates.
+        conflicting = AbstractionFunction(
+            paper_tree, paper_example, {(0, 0): "Facebook"}
+        )
+        max_age = parse_cq(
+            "Q(age) :- Person(id, n, age), Hobbies(id, h, s1)"
+        )
+        # Build a tiny expression reusing h1 twice with different targets.
+        from repro.semirings.semimodule import (
+            AggregateExpression,
+            AggregateTerm,
+        )
+        from repro.semirings.polynomial import Monomial
+
+        expr = AggregateExpression(
+            AggregateOp.MAX, [AggregateTerm(Monomial.of("h1"), 1.0)]
+        )
+        # conflicting maps only one occurrence; uniform view works.
+        assert conflicting.apply_to_aggregate(paper_example, expr)
+        # both_rows_h maps h1 -> Facebook and h2 -> Social Network: also
+        # uniform per variable, so it must succeed.
+        assert both_rows_h.apply_to_aggregate(paper_example, expr)
+
+    def test_conflicting_per_variable_targets_rejected(
+        self, paper_tree, paper_db
+    ):
+        from repro.provenance.builder import build_kexample
+        from repro.semirings.semimodule import (
+            AggregateExpression,
+            AggregateTerm,
+        )
+        from repro.semirings.polynomial import Monomial
+
+        query = parse_cq("Q(id, id2) :- Hobbies(id, h, s), Hobbies(id2, h2, s2)")
+        example = build_kexample(query, paper_db, n_rows=2)
+        # Find a row where h1 occurs; map h1 differently in two positions.
+        positions = [
+            (r, o)
+            for r, row in enumerate(example.rows)
+            for o, ann in enumerate(row.occurrences)
+            if ann == "h1"
+        ]
+        if len(positions) < 2:
+            pytest.skip("example does not reuse h1 twice")
+        tree = paper_tree
+        function = AbstractionFunction(
+            tree, example,
+            {positions[0]: "Facebook", positions[1]: "Social Network"},
+        )
+        expr = AggregateExpression(
+            AggregateOp.MAX, [AggregateTerm(Monomial.of("h1"), 1.0)]
+        )
+        with pytest.raises(AbstractionError):
+            function.apply_to_aggregate(example, expr)

@@ -1,0 +1,174 @@
+"""Tests for abstraction trees and the tree builders."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.abstraction.builders import (
+    balanced_tree,
+    tree_from_categories,
+    tree_over_annotations,
+)
+from repro.abstraction.tree import AbstractionTree
+from repro.errors import AbstractionError
+
+
+@pytest.fixture
+def tree():
+    t = AbstractionTree("root")
+    t.add_node("mid1", "root")
+    t.add_node("mid2", "root")
+    t.add_node("a", "mid1")
+    t.add_node("b", "mid1")
+    t.add_node("c", "mid2")
+    return t.freeze()
+
+
+class TestAbstractionTree:
+    def test_structure(self, tree):
+        assert tree.num_nodes() == 6
+        assert set(tree.leaves()) == {"a", "b", "c"}
+        assert tree.inner_labels() == frozenset({"root", "mid1", "mid2"})
+        assert tree.height() == 2
+
+    def test_leaf_counts(self, tree):
+        assert tree.leaf_count("root") == 3
+        assert tree.leaf_count("mid1") == 2
+        assert tree.leaf_count("a") == 1
+
+    def test_leaves_under(self, tree):
+        assert set(tree.leaves_under("mid1")) == {"a", "b"}
+        assert set(tree.leaves_under("root")) == {"a", "b", "c"}
+        assert list(tree.leaves_under("c")) == ["c"]
+
+    def test_ancestors(self, tree):
+        assert tree.ancestors("a") == ("a", "mid1", "root")
+        assert tree.ancestors("root") == ("root",)
+
+    def test_is_ancestor_reflexive(self, tree):
+        assert tree.is_ancestor("a", "a")
+        assert tree.is_ancestor("a", "root")
+        assert not tree.is_ancestor("a", "mid2")
+        assert not tree.is_ancestor("root", "a")
+
+    def test_path_edges(self, tree):
+        assert tree.path_edges("a", "root") == (("a", "mid1"), ("mid1", "root"))
+        assert tree.path_edges("a", "a") == ()
+        with pytest.raises(AbstractionError):
+            tree.path_edges("a", "mid2")
+
+    def test_duplicate_label_rejected(self):
+        t = AbstractionTree("root")
+        t.add_node("x", "root")
+        with pytest.raises(AbstractionError):
+            t.add_node("x", "root")
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(AbstractionError):
+            AbstractionTree("root").add_node("x", "nope")
+
+    def test_frozen_tree_rejects_additions(self, tree):
+        with pytest.raises(AbstractionError):
+            tree.add_node("new", "root")
+
+    def test_queries_require_freeze(self):
+        t = AbstractionTree("root")
+        t.add_node("x", "root")
+        with pytest.raises(AbstractionError):
+            t.leaves()
+
+    def test_compatibility(self, tree):
+        # Compatible iff no inner label collides with an annotation.
+        assert tree.is_compatible_with_annotations(["a", "b", "zzz"])
+        assert not tree.is_compatible_with_annotations(["mid1"])
+
+    def test_unknown_label(self, tree):
+        with pytest.raises(AbstractionError):
+            tree.node("ghost")
+
+
+class TestBalancedTree:
+    def test_all_annotations_become_leaves(self):
+        annotations = [f"t{i}" for i in range(17)]
+        tree = balanced_tree(annotations, height=3, seed=0)
+        assert set(tree.leaves()) == set(annotations)
+
+    def test_height_bound(self):
+        tree = balanced_tree([f"t{i}" for i in range(30)], height=4, seed=1)
+        assert tree.height() <= 4
+
+    def test_height_one_is_flat(self):
+        tree = balanced_tree(["a", "b", "c"], height=1)
+        assert tree.height() == 1
+        assert set(tree.leaves()) == {"a", "b", "c"}
+
+    def test_deterministic_per_seed(self):
+        annotations = [f"t{i}" for i in range(20)]
+        t1 = balanced_tree(annotations, height=3, seed=5)
+        t2 = balanced_tree(annotations, height=3, seed=5)
+        assert t1.labels() == t2.labels()
+        assert t1.leaves() == t2.leaves()
+
+    def test_empty_rejected(self):
+        with pytest.raises(AbstractionError):
+            balanced_tree([], height=2)
+
+    def test_bad_height_rejected(self):
+        with pytest.raises(AbstractionError):
+            balanced_tree(["a"], height=0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        height=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=10),
+    )
+    def test_leaf_set_invariant(self, n, height, seed):
+        annotations = [f"t{i}" for i in range(n)]
+        tree = balanced_tree(annotations, height=height, seed=seed)
+        assert set(tree.leaves()) == set(annotations)
+        assert tree.height() <= height
+        assert tree.leaf_count(tree.root.label) == n
+
+
+class TestCategoryTree:
+    def test_paper_figure3_shape(self, paper_tree):
+        assert set(paper_tree.leaves()) == {
+            "i1", "i2", "i3", "i4", "i5", "i6",
+            "h1", "h2", "h3", "h4", "h5", "h6",
+        }
+        assert paper_tree.leaf_count("Facebook") == 5
+        assert paper_tree.leaf_count("Social Network") == 8
+        assert paper_tree.ancestors("h1") == (
+            "h1", "Facebook", "Social Network", "*",
+        )
+
+    def test_nested_mapping(self):
+        tree = tree_from_categories({"A": {"B": ["x"]}, "C": ["y", "z"]})
+        assert set(tree.leaves()) == {"x", "y", "z"}
+        assert tree.leaf_count("A") == 1
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(AbstractionError):
+            tree_from_categories({"A": 42})  # type: ignore[dict-item]
+
+
+class TestTreeOverAnnotations:
+    def test_must_include_always_sampled(self):
+        pool = [f"t{i}" for i in range(100)]
+        tree = tree_over_annotations(
+            pool, n_leaves=10, height=3, seed=0, must_include=["t50", "t99"]
+        )
+        leaves = set(tree.leaves())
+        assert {"t50", "t99"} <= leaves
+        assert len(leaves) == 10
+
+    def test_sample_capped_at_pool(self):
+        pool = ["a", "b", "c"]
+        tree = tree_over_annotations(pool, n_leaves=10, height=2)
+        assert set(tree.leaves()) == set(pool)
+
+    def test_deterministic(self):
+        pool = [f"t{i}" for i in range(50)]
+        t1 = tree_over_annotations(pool, n_leaves=20, height=3, seed=7)
+        t2 = tree_over_annotations(pool, n_leaves=20, height=3, seed=7)
+        assert t1.leaves() == t2.leaves()

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io.csv_io import database_to_csv_dir
+from repro.io.json_io import database_to_json, tree_to_json
+from repro.examples_data import running_example_db, running_example_tree
+
+QUERY = (
+    "Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', s1),"
+    " Interests(id, 'Music', s2)"
+)
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    db = running_example_db()
+    database_to_csv_dir(db, tmp_path / "data")
+    (tmp_path / "db.json").write_text(json.dumps(database_to_json(db)))
+    (tmp_path / "tree.json").write_text(
+        json.dumps(tree_to_json(running_example_tree()))
+    )
+    return tmp_path
+
+
+class TestOptimize:
+    def test_optimize_from_csv(self, workspace, capsys):
+        code = main([
+            "optimize",
+            "--database", str(workspace / "data"),
+            "--tree", str(workspace / "tree.json"),
+            "--query", QUERY,
+            "--threshold", "2",
+            "--output", str(workspace / "result.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "privacy             : 2" in out
+        result = json.loads((workspace / "result.json").read_text())
+        assert result["privacy"] == 2
+
+    def test_optimize_from_json_db(self, workspace, capsys):
+        code = main([
+            "optimize",
+            "--database", str(workspace / "db.json"),
+            "--tree", str(workspace / "tree.json"),
+            "--query", QUERY,
+            "--threshold", "2",
+        ])
+        assert code == 0
+
+    def test_unsatisfiable_threshold_exit_code(self, workspace):
+        code = main([
+            "optimize",
+            "--database", str(workspace / "data"),
+            "--tree", str(workspace / "tree.json"),
+            "--query", QUERY,
+            "--threshold", "999999",
+            "--max-seconds", "10",
+        ])
+        assert code == 1
+
+
+class TestOtherCommands:
+    def test_privacy_identity(self, workspace, capsys):
+        code = main([
+            "privacy",
+            "--database", str(workspace / "data"),
+            "--tree", str(workspace / "tree.json"),
+            "--query", QUERY,
+        ])
+        assert code == 0
+        assert "privacy: 1" in capsys.readouterr().out
+
+    def test_attack_lists_cims(self, workspace, capsys):
+        code = main([
+            "attack",
+            "--database", str(workspace / "data"),
+            "--tree", str(workspace / "tree.json"),
+            "--query", QUERY,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 CIM query" in out
+        assert "Hobbies" in out
+
+    def test_evaluate(self, workspace, capsys):
+        code = main([
+            "evaluate",
+            "--database", str(workspace / "data"),
+            "--query", "Q(id) :- Person(id, n, a)",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(2 rows)" in out
+
+    def test_show_tree(self, workspace, capsys):
+        code = main(["show-tree", "--tree", str(workspace / "tree.json")])
+        assert code == 0
+        assert "Facebook" in capsys.readouterr().out
+
+    def test_privacy_with_abstraction_file(self, workspace, capsys):
+        (workspace / "abs.json").write_text(json.dumps({
+            "assignment": [
+                {"row": 0, "occurrence": 0, "target": "Facebook"},
+                {"row": 1, "occurrence": 0, "target": "LinkedIn"},
+            ]
+        }))
+        code = main([
+            "privacy",
+            "--database", str(workspace / "data"),
+            "--tree", str(workspace / "tree.json"),
+            "--query", QUERY,
+            "--abstraction", str(workspace / "abs.json"),
+        ])
+        assert code == 0
+        assert "privacy: 2" in capsys.readouterr().out

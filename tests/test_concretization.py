@@ -1,0 +1,141 @@
+"""Tests for concretization counting, enumeration, and connectivity."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abstraction.concretization import ConcretizationEngine
+from repro.abstraction.function import AbstractionFunction
+from repro.core.loi import loss_of_information
+
+
+@pytest.fixture
+def engine(paper_tree, paper_db):
+    return ConcretizationEngine(paper_tree, paper_db.registry)
+
+
+def _abstract(tree, example, targets):
+    return AbstractionFunction.uniform(tree, example, targets).apply(example)
+
+
+class TestCounting:
+    def test_identity_has_one_concretization(self, engine, paper_tree, paper_example):
+        abstracted = _abstract(paper_tree, paper_example, {})
+        assert engine.count(abstracted) == 1
+
+    def test_paper_a1_count_is_15(self, engine, paper_tree, paper_example):
+        """Example 3.15: |C(Ex_abs1)| = 5 * 3 = 15."""
+        abstracted = _abstract(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        assert engine.count(abstracted) == 15
+
+    def test_paper_a2_count_is_20(self, engine, paper_tree, paper_example):
+        """Example 3.15: |C(Ex_abs2)| = 5 * 4 = 20."""
+        abstracted = _abstract(
+            paper_tree, paper_example, {"i1": "WikiLeaks", "i2": "Facebook"}
+        )
+        assert engine.count(abstracted) == 20
+
+    def test_paper_a3_count_is_4(self, engine, paper_tree, paper_example):
+        """Figure 6: C(Ex_abs3) has 4 concretizations."""
+        abstracted = _abstract(paper_tree, paper_example, {"i1": "WikiLeaks"})
+        assert engine.count(abstracted) == 4
+
+    def test_count_matches_enumeration(self, engine, paper_tree, paper_example):
+        abstracted = _abstract(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        enumerated = list(engine.concretizations(abstracted))
+        assert len(enumerated) == engine.count(abstracted)
+
+    def test_root_abstraction_upper_bound(self, engine, paper_tree, paper_example):
+        """Proposition 3.5(2): |C| <= |L_T|^n, tight at the root."""
+        targets = {v: "*" for v in ("h1", "h2", "i1", "i2")}
+        abstracted = _abstract(paper_tree, paper_example, targets)
+        assert engine.count(abstracted) == len(paper_tree.leaves()) ** 4
+
+
+class TestEnumeration:
+    def test_paper_figure6_set(self, engine, paper_tree, paper_example):
+        """The concretization set of Ex_abs3 is exactly Figure 6."""
+        abstracted = _abstract(paper_tree, paper_example, {"i1": "WikiLeaks"})
+        first_row_monomials = {
+            tuple(ex.rows[0].occurrences)
+            for ex in engine.concretizations(abstracted)
+        }
+        assert first_row_monomials == {
+            ("h1", "h6", "p1"),
+            ("h1", "i1", "p1"),
+            ("h1", "i4", "p1"),
+            ("h1", "i6", "p1"),
+        }
+
+    def test_original_example_is_a_concretization(
+        self, engine, paper_tree, paper_example
+    ):
+        """Ex in C(A_T(Ex)) always (Definition 3.3)."""
+        abstracted = _abstract(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        assert paper_example in list(engine.concretizations(abstracted))
+
+    def test_connected_only_filters(self, engine, paper_tree, paper_example):
+        abstracted = _abstract(paper_tree, paper_example, {"i1": "WikiLeaks"})
+        connected = list(engine.concretizations(abstracted, connected_only=True))
+        # Figure 6 / Example 4.2: c1 and c4 are disconnected.
+        assert len(connected) == 2
+        monomials = {tuple(ex.rows[0].occurrences) for ex in connected}
+        assert monomials == {("h1", "i1", "p1"), ("h1", "i4", "p1")}
+
+
+class TestConnectivity:
+    def test_real_rows_connected(self, engine, paper_example):
+        for row in paper_example.rows:
+            assert engine.row_connected(row)
+
+    def test_cache_counts(self, paper_tree, paper_db, paper_example):
+        engine = ConcretizationEngine(paper_tree, paper_db.registry)
+        row = paper_example.rows[0]
+        engine.row_connected(row)
+        engine.row_connected(row)
+        assert engine.cache_hits == 1
+        assert engine.cache_misses == 1
+
+    def test_cache_disabled(self, paper_tree, paper_db, paper_example):
+        engine = ConcretizationEngine(
+            paper_tree, paper_db.registry, use_connectivity_cache=False
+        )
+        row = paper_example.rows[0]
+        engine.row_connected(row)
+        engine.row_connected(row)
+        assert engine.cache_hits == 0
+
+
+class TestCountingProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        h1_level=st.integers(min_value=0, max_value=3),
+        i1_level=st.integers(min_value=0, max_value=2),
+    )
+    def test_product_formula(self, paper_tree, paper_db, paper_example, h1_level, i1_level):
+        """Proposition 3.5(1): |C| is the product of subtree leaf counts,
+        and uniform LOI is its log."""
+        engine = ConcretizationEngine(paper_tree, paper_db.registry)
+        targets = {}
+        h1_chain = paper_tree.ancestors("h1")
+        i1_chain = paper_tree.ancestors("i1")
+        if h1_level:
+            targets["h1"] = h1_chain[h1_level]
+        if i1_level:
+            targets["i1"] = i1_chain[i1_level]
+        abstracted = _abstract(paper_tree, paper_example, targets)
+        expected = 1
+        for label in targets.values():
+            expected *= paper_tree.leaf_count(label)
+        assert engine.count(abstracted) == expected
+        assert math.isclose(
+            loss_of_information(abstracted, paper_tree), math.log(expected)
+        )

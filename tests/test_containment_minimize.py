@@ -1,0 +1,150 @@
+"""Tests for CQ containment (Chandra-Merlin) and minimization."""
+
+from repro.query.ast import Variable
+from repro.query.containment import (
+    find_homomorphism,
+    is_contained_in,
+    is_equivalent,
+    is_strictly_contained_in,
+)
+from repro.query.join_graph import is_connected, join_graph
+from repro.query.minimize import is_minimal, minimize_cq
+from repro.query.parser import parse_cq, parse_ucq
+
+
+class TestHomomorphism:
+    def test_identity_homomorphism(self):
+        q = parse_cq("Q(x) :- R(x, y)")
+        assert find_homomorphism(q, q) is not None
+
+    def test_variable_to_constant(self):
+        general = parse_cq("Q(x) :- R(x, y)")
+        specific = parse_cq("Q(x) :- R(x, 'a')")
+        hom = find_homomorphism(general, specific)
+        assert hom is not None
+
+    def test_no_homomorphism_to_wrong_constant(self):
+        q1 = parse_cq("Q(x) :- R(x, 'a')")
+        q2 = parse_cq("Q(x) :- R(x, 'b')")
+        assert find_homomorphism(q1, q2) is None
+
+    def test_head_must_map(self):
+        q1 = parse_cq("Q(x) :- R(x, y)")
+        q2 = parse_cq("Q(y) :- R(x, y)")
+        # Q1's head variable is the first R column; Q2's is the second.
+        hom = find_homomorphism(q1, q2)
+        assert hom is None
+
+    def test_mismatched_head_arity(self):
+        q1 = parse_cq("Q(x, y) :- R(x, y)")
+        q2 = parse_cq("Q(x) :- R(x, y)")
+        assert find_homomorphism(q1, q2) is None
+
+    def test_returned_mapping_is_usable(self):
+        general = parse_cq("Q(x) :- R(x, y)")
+        specific = parse_cq("Q(a) :- R(a, 'c')")
+        hom = find_homomorphism(general, specific)
+        assert hom is not None
+        assert hom[Variable("x")] == Variable("a")
+
+
+class TestContainment:
+    def test_paper_qreal_contained_in_qgeneral(self, paper_queries):
+        assert is_contained_in(paper_queries["real"], paper_queries["general"])
+        assert not is_contained_in(paper_queries["general"], paper_queries["real"])
+
+    def test_paper_qreal_vs_qfalse(self, paper_queries):
+        assert not is_contained_in(paper_queries["real"], paper_queries["false1"])
+        assert not is_contained_in(paper_queries["false1"], paper_queries["real"])
+
+    def test_strict_containment(self, paper_queries):
+        assert is_strictly_contained_in(
+            paper_queries["real"], paper_queries["general"]
+        )
+        assert not is_strictly_contained_in(
+            paper_queries["general"], paper_queries["real"]
+        )
+
+    def test_equivalence_up_to_renaming(self):
+        q1 = parse_cq("Q(x) :- R(x, y), S(y)")
+        q2 = parse_cq("Q(a) :- R(a, b), S(b)")
+        assert is_equivalent(q1, q2)
+
+    def test_redundant_atom_preserves_equivalence(self):
+        lean = parse_cq("Q(x) :- R(x, y)")
+        redundant = parse_cq("Q(x) :- R(x, y), R(x, z)")
+        assert is_equivalent(lean, redundant)
+
+    def test_more_atoms_usually_more_specific(self):
+        two = parse_cq("Q(x) :- R(x, y), S(y)")
+        one = parse_cq("Q(x) :- R(x, y)")
+        assert is_strictly_contained_in(two, one)
+
+    def test_self_containment_reflexive(self):
+        q = parse_cq("Q(x) :- R(x, y), S(y, x)")
+        assert is_contained_in(q, q)
+
+    def test_cyclic_query(self):
+        cycle = parse_cq("Q(x) :- E(x, y), E(y, z), E(z, x)")
+        path = parse_cq("Q(x) :- E(x, y), E(y, z)")
+        assert is_contained_in(cycle, path)
+        assert not is_contained_in(path, cycle)
+
+
+class TestMinimize:
+    def test_redundant_atom_removed(self):
+        q = parse_cq("Q(x) :- R(x, y), R(x, z)")
+        core = minimize_cq(q)
+        assert len(core.body) == 1
+        assert is_equivalent(core, q)
+
+    def test_minimal_query_unchanged(self):
+        q = parse_cq("Q(x) :- R(x, y), S(y)")
+        assert minimize_cq(q) == q
+        assert is_minimal(q)
+
+    def test_constant_atom_not_redundant(self):
+        q = parse_cq("Q(x) :- R(x, y), R(x, 'a')")
+        core = minimize_cq(q)
+        # R(x, 'a') is more specific; R(x, y) folds into it.
+        assert len(core.body) == 1
+        assert core.body[0].constants()
+
+    def test_head_binding_atom_kept(self):
+        q = parse_cq("Q(x, w) :- R(x, y), S(w)")
+        assert len(minimize_cq(q).body) == 2
+
+    def test_triangle_is_minimal(self):
+        q = parse_cq("Q(x) :- E(x, y), E(y, z), E(z, x)")
+        assert is_minimal(q)
+
+    def test_path_folds_into_shorter_path_when_headless(self):
+        q = parse_cq("Q(x) :- E(x, y), E(y, z), E(z, w)")
+        core = minimize_cq(q)
+        assert is_equivalent(core, q)
+        assert len(core.body) == 3  # the 3-path does not fold (x is head)
+
+
+class TestJoinGraph:
+    def test_connected_chain(self):
+        assert is_connected(parse_cq("Q(x) :- R(x, y), S(y, z), T(z)"))
+
+    def test_disconnected(self):
+        assert not is_connected(parse_cq("Q(x) :- R(x), S(y)"))
+
+    def test_constants_do_not_connect(self):
+        # Shared constants are not join edges (Definition in Section 3.3).
+        assert not is_connected(parse_cq("Q(x) :- R(x, 'a'), S('a', y)"))
+
+    def test_single_atom_connected(self):
+        assert is_connected(parse_cq("Q(x) :- R(x)"))
+
+    def test_join_graph_edges(self):
+        graph = join_graph(parse_cq("Q(x) :- R(x, y), S(y), T(x)"))
+        assert set(graph.edges()) == {(0, 1), (0, 2)}
+
+    def test_ucq_connected_iff_all_disjuncts(self):
+        good = parse_ucq("Q(x) :- R(x, y), S(y); Q(z) :- T(z)")
+        bad = parse_ucq("Q(x) :- R(x, y), S(y); Q(z) :- T(z), U(w)")
+        assert is_connected(good)
+        assert not is_connected(bad)

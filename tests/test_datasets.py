@@ -1,0 +1,188 @@
+"""Tests for the TPC-H / IMDB generators and the query workload."""
+
+import pytest
+
+from repro.datasets.imdb import IMDB_SCHEMA, generate_imdb
+from repro.datasets.queries import (
+    IMDB_QUERIES,
+    TPCH_QUERIES,
+    all_queries,
+    get_query,
+    join_variants,
+    query_stats,
+)
+from repro.datasets.tpch import TPCH_SCHEMA, generate_tpch
+from repro.datasets.trees import imdb_ontology_tree, tpch_lineitem_tree
+from repro.errors import ReproError
+from repro.provenance.builder import build_kexample
+from repro.query.evaluator import evaluate_cq
+from repro.query.join_graph import is_connected
+
+
+class TestTPCHGenerator:
+    def test_deterministic(self):
+        db1 = generate_tpch(scale=0.01, seed=3)
+        db2 = generate_tpch(scale=0.01, seed=3)
+        assert db1.total_tuples() == db2.total_tuples()
+        assert db1.annotations() == db2.annotations()
+
+    def test_seed_changes_content(self):
+        db1 = generate_tpch(scale=0.01, seed=1)
+        db2 = generate_tpch(scale=0.01, seed=2)
+        values1 = sorted(t.values for t in db1.relation("lineitem"))
+        values2 = sorted(t.values for t in db2.relation("lineitem"))
+        assert values1 != values2
+
+    def test_scale_grows_tables(self):
+        small = generate_tpch(scale=0.01, seed=0)
+        large = generate_tpch(scale=0.05, seed=0)
+        assert large.total_tuples() > small.total_tuples()
+
+    def test_reference_integrity(self, tpch_db):
+        nation_keys = {t.values[0] for t in tpch_db.relation("nation")}
+        for supplier in tpch_db.relation("supplier"):
+            assert supplier.values[2] in nation_keys
+        order_keys = {t.values[0] for t in tpch_db.relation("orders")}
+        for lineitem in tpch_db.relation("lineitem"):
+            assert lineitem.values[0] in order_keys
+
+    def test_abstractly_tagged(self, tpch_db):
+        annotations = [t.annotation for t in tpch_db.tuples()]
+        assert len(annotations) == len(set(annotations))
+
+    def test_fixed_dimension_tables(self, tpch_db):
+        assert len(tpch_db.relation("region")) == 5
+        assert len(tpch_db.relation("nation")) == 25
+
+
+class TestIMDBGenerator:
+    def test_deterministic(self):
+        db1 = generate_imdb(seed=4)
+        db2 = generate_imdb(seed=4)
+        assert db1.annotations() == db2.annotations()
+
+    def test_anchors_exist(self, imdb_db):
+        names = {t.values[1] for t in imdb_db.relation("person")}
+        assert "Kevin Bacon" in names
+        assert "Tom Cruise" in names
+
+    def test_cast_edges_reference_real_entities(self, imdb_db):
+        people = {t.values[0] for t in imdb_db.relation("person")}
+        movies = {t.values[0] for t in imdb_db.relation("movie")}
+        for edge in imdb_db.relation("casts"):
+            assert edge.values[0] in people
+            assert edge.values[1] in movies
+
+    def test_no_duplicate_cast_edges(self, imdb_db):
+        pairs = [t.values for t in imdb_db.relation("casts")]
+        assert len(pairs) == len(set(pairs))
+
+
+class TestWorkloadQueries:
+    def test_table6_counts(self):
+        """Table 6 of the paper: atoms per query (joins = atoms - 1)."""
+        expected_atoms = {
+            "TPCH-Q3": 3, "TPCH-Q4": 2, "TPCH-Q5": 7, "TPCH-Q7": 6,
+            "TPCH-Q9": 6, "TPCH-Q10": 4, "TPCH-Q21": 6,
+            "IMDB-Q1": 3, "IMDB-Q2": 6, "IMDB-Q3": 5, "IMDB-Q4": 7,
+            "IMDB-Q5": 4, "IMDB-Q6": 5, "IMDB-Q7": 7,
+        }
+        stats = query_stats()
+        for name, atoms in expected_atoms.items():
+            assert stats[name][0] == atoms, name
+
+    def test_q21_triple_self_join(self):
+        q21 = get_query("TPCH-Q21")
+        assert q21.relations().count("lineitem") == 3
+
+    def test_all_queries_connected(self):
+        for name, query in all_queries().items():
+            assert is_connected(query), name
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(ReproError):
+            get_query("TPCH-Q99")
+
+    @pytest.mark.parametrize("name", sorted(TPCH_QUERIES))
+    def test_tpch_queries_have_results(self, tpch_db, name):
+        example = build_kexample(get_query(name), tpch_db, n_rows=2)
+        assert len(example) == 2
+        assert example.is_connected()
+
+    @pytest.mark.parametrize("name", sorted(IMDB_QUERIES))
+    def test_imdb_queries_have_results(self, imdb_db, name):
+        example = build_kexample(get_query(name), imdb_db, n_rows=2)
+        assert len(example) == 2
+        assert example.is_connected()
+
+    def test_imdb_q1_semantics(self, imdb_db):
+        """Every IMDB-Q1 answer is a person cast in a 1995 movie."""
+        results = evaluate_cq(get_query("IMDB-Q1"), imdb_db)
+        assert results
+        year_1995_movies = {
+            t.values[0] for t in imdb_db.relation("movie") if t.values[2] == 1995
+        }
+        for poly in results.values():
+            for monomial in poly.monomials():
+                movie_anns = [
+                    v for v in monomial.variables() if v.startswith("m")
+                ]
+                assert any(
+                    imdb_db.resolve(ann).values[0] in year_1995_movies
+                    for ann in movie_anns
+                )
+
+
+class TestJoinVariants:
+    @pytest.mark.parametrize(
+        "name",
+        ["TPCH-Q5", "TPCH-Q7", "TPCH-Q9", "TPCH-Q21", "IMDB-Q2", "IMDB-Q4", "IMDB-Q7"],
+    )
+    def test_variants_are_connected_and_grow(self, name):
+        variants = join_variants(name)
+        assert variants
+        joins = [j for j, _ in variants]
+        assert joins == sorted(joins)
+        for n_joins, query in variants:
+            assert is_connected(query), (name, n_joins)
+            assert query.num_joins() == n_joins
+
+    def test_full_query_is_last_variant(self):
+        variants = join_variants("TPCH-Q7")
+        _, last = variants[-1]
+        assert len(last.body) == len(get_query("TPCH-Q7").body)
+
+    def test_too_few_joins_rejected(self):
+        with pytest.raises(ReproError):
+            join_variants("TPCH-Q4", min_joins=3)
+
+
+class TestDatasetTrees:
+    def test_lineitem_tree_covers_lineitems_only(self, tpch_db):
+        tree = tpch_lineitem_tree(tpch_db, n_leaves=50, height=4, seed=0)
+        for leaf in tree.leaves():
+            assert leaf.startswith("l")
+
+    def test_lineitem_tree_must_include(self, tpch_db):
+        example = build_kexample(get_query("TPCH-Q3"), tpch_db, n_rows=2)
+        lineitem_vars = [v for v in example.variables() if v.startswith("l")]
+        tree = tpch_lineitem_tree(
+            tpch_db, n_leaves=30, height=4, must_include=lineitem_vars
+        )
+        assert set(lineitem_vars) <= set(tree.leaves())
+
+    def test_imdb_ontology_structure(self, imdb_db):
+        tree = imdb_ontology_tree(imdb_db)
+        # root -> category -> decade -> year -> annotation (genres are one
+        # level shallower: root -> Genres -> type -> annotation).
+        assert tree.height() == 4
+        labels = tree.labels()
+        assert "People" in labels
+        assert "Movies" in labels
+        assert "Genres" in labels
+        # Every database annotation is a leaf.
+        assert set(tree.leaves()) == set(imdb_db.annotations())
+
+    def test_imdb_ontology_compatible(self, imdb_db):
+        tree = imdb_ontology_tree(imdb_db)
+        assert tree.is_compatible_with_annotations(imdb_db.annotations())

@@ -1,0 +1,154 @@
+"""Tests for the relational substrate: schemas, tuples, K-databases."""
+
+import pytest
+
+from repro.db.database import AnnotationRegistry, KDatabase
+from repro.db.schema import RelationSchema, Schema
+from repro.db.tuples import Tuple
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"R": ["a", "b"], "S": ["x"]})
+
+
+class TestRelationSchema:
+    def test_attributes_and_arity(self):
+        rel = RelationSchema("R", ["a", "b"])
+        assert rel.arity == 2
+        assert rel.attributes == ("a", "b")
+
+    def test_position_lookup(self):
+        rel = RelationSchema("R", ["a", "b"])
+        assert rel.position("b") == 1
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a"]).position("z")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "a"])
+
+    def test_equality(self):
+        assert RelationSchema("R", ["a"]) == RelationSchema("R", ["a"])
+        assert RelationSchema("R", ["a"]) != RelationSchema("R", ["b"])
+
+
+class TestSchema:
+    def test_from_dict(self, schema):
+        assert "R" in schema
+        assert schema.relation("R").arity == 2
+        assert set(schema.relation_names()) == {"R", "S"}
+
+    def test_duplicate_relation_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add(RelationSchema("R", ["z"]))
+
+    def test_unknown_relation(self, schema):
+        with pytest.raises(SchemaError):
+            schema.relation("T")
+
+    def test_iteration(self, schema):
+        assert len(list(schema)) == 2
+
+
+class TestTuple:
+    def test_fields(self):
+        tup = Tuple("R", (1, "x"), "t1")
+        assert tup.relation == "R"
+        assert tup.values == (1, "x")
+        assert tup.annotation == "t1"
+        assert tup.arity == 2
+        assert tup[0] == 1
+
+    def test_value_set(self):
+        assert Tuple("R", (1, 1, 2), "t").value_set() == frozenset({1, 2})
+
+    def test_equality_includes_annotation(self):
+        assert Tuple("R", (1,), "t1") != Tuple("R", (1,), "t2")
+        assert Tuple("R", (1,), "t1") == Tuple("R", (1,), "t1")
+
+    def test_repr(self):
+        assert repr(Tuple("R", (1,), "t1")) == "t1: R(1)"
+
+
+class TestKDatabase:
+    def test_insert_and_resolve(self, schema):
+        db = KDatabase(schema)
+        tup = db.insert("R", (1, 2), "t1")
+        assert db.resolve("t1") == tup
+        assert db.total_tuples() == 1
+
+    def test_auto_annotation(self, schema):
+        db = KDatabase(schema)
+        t1 = db.insert("R", (1, 2))
+        t2 = db.insert("R", (3, 4))
+        assert t1.annotation != t2.annotation
+
+    def test_duplicate_annotation_rejected(self, schema):
+        db = KDatabase(schema)
+        db.insert("R", (1, 2), "t1")
+        with pytest.raises(SchemaError):
+            db.insert("R", (3, 4), "t1")
+
+    def test_arity_mismatch_rejected(self, schema):
+        db = KDatabase(schema)
+        with pytest.raises(SchemaError):
+            db.insert("R", (1,), "t1")
+
+    def test_unknown_relation_rejected(self, schema):
+        db = KDatabase(schema)
+        with pytest.raises(SchemaError):
+            db.insert("T", (1,), "t1")
+
+    def test_annotations_and_tuples(self, schema):
+        db = KDatabase(schema)
+        db.insert("R", (1, 2), "t1")
+        db.insert("S", (9,), "t2")
+        assert db.annotations() == frozenset({"t1", "t2"})
+        assert {t.annotation for t in db.tuples()} == {"t1", "t2"}
+
+    def test_matching_with_bindings(self, schema):
+        db = KDatabase(schema)
+        db.insert("R", (1, 2), "t1")
+        db.insert("R", (1, 3), "t2")
+        db.insert("R", (2, 3), "t3")
+        rel = db.relation("R")
+        assert {t.annotation for t in rel.matching({0: 1})} == {"t1", "t2"}
+        assert {t.annotation for t in rel.matching({0: 1, 1: 3})} == {"t2"}
+        assert {t.annotation for t in rel.matching({})} == {"t1", "t2", "t3"}
+        assert list(rel.matching({0: 99})) == []
+
+    def test_relation_rejects_foreign_tuple(self, schema):
+        db = KDatabase(schema)
+        with pytest.raises(SchemaError):
+            db.relation("R").add(Tuple("S", (1,), "t9"))
+
+
+class TestAnnotationRegistry:
+    def test_register_and_resolve(self):
+        reg = AnnotationRegistry()
+        tup = Tuple("R", (1,), "t1")
+        reg.register(tup)
+        assert reg.resolve("t1") == tup
+        assert "t1" in reg
+        assert reg.resolve_or_none("zz") is None
+
+    def test_conflicting_registration_rejected(self):
+        reg = AnnotationRegistry()
+        reg.register(Tuple("R", (1,), "t1"))
+        with pytest.raises(SchemaError):
+            reg.register(Tuple("R", (2,), "t1"))
+
+    def test_idempotent_registration(self):
+        reg = AnnotationRegistry()
+        tup = Tuple("R", (1,), "t1")
+        reg.register(tup)
+        reg.register(tup)  # same tuple: fine
+        assert len(reg) == 1
+
+    def test_unknown_annotation(self):
+        with pytest.raises(SchemaError):
+            AnnotationRegistry().resolve("nope")

@@ -1,0 +1,118 @@
+"""Tests for provenance-tracking query evaluation."""
+
+import pytest
+
+from repro.db.database import KDatabase
+from repro.db.schema import Schema
+from repro.errors import EvaluationError
+from repro.query.evaluator import derivations, evaluate, evaluate_cq, evaluate_ucq
+from repro.query.parser import parse_cq, parse_ucq
+from repro.semirings.polynomial import Monomial, Polynomial
+from repro.examples_data import Q_REAL
+
+
+@pytest.fixture
+def small_db():
+    db = KDatabase(Schema.from_dict({"R": ["a", "b"], "S": ["b", "c"]}))
+    db.insert("R", (1, 2), "r1")
+    db.insert("R", (1, 3), "r2")
+    db.insert("S", (2, 9), "s1")
+    db.insert("S", (3, 9), "s2")
+    return db
+
+
+class TestEvaluateCQ:
+    def test_paper_example_provenance(self, paper_db):
+        result = evaluate_cq(Q_REAL, paper_db)
+        assert result[(1,)] == Polynomial({Monomial.of("p1", "h1", "i1"): 1})
+        assert result[(2,)] == Polynomial({Monomial.of("p2", "h2", "i2"): 1})
+        assert set(result) == {(1,), (2,)}
+
+    def test_join_provenance(self, small_db):
+        result = evaluate_cq(parse_cq("Q(a, c) :- R(a, b), S(b, c)"), small_db)
+        assert result[(1, 9)] == (
+            Polynomial({Monomial.of("r1", "s1"): 1})
+            + Polynomial({Monomial.of("r2", "s2"): 1})
+        )
+
+    def test_projection_sums_derivations(self, small_db):
+        result = evaluate_cq(parse_cq("Q(a) :- R(a, b), S(b, c)"), small_db)
+        poly = result[(1,)]
+        assert poly.coefficient(Monomial.of("r1", "s1")) == 1
+        assert poly.coefficient(Monomial.of("r2", "s2")) == 1
+
+    def test_coefficient_from_duplicate_values(self):
+        db = KDatabase(Schema.from_dict({"R": ["a"]}))
+        db.insert("R", (1,), "r1")
+        db.insert("R", (1,), "r2")  # same value, distinct annotation
+        result = evaluate_cq(parse_cq("Q(x) :- R(x)"), db)
+        poly = result[(1,)]
+        assert poly.coefficient(Monomial.of("r1")) == 1
+        assert poly.coefficient(Monomial.of("r2")) == 1
+
+    def test_self_join_exponent(self, small_db):
+        # x joined with itself through two atoms mapping to the same tuple.
+        result = evaluate_cq(parse_cq("Q(a) :- R(a, b), R(a, c)"), small_db)
+        poly = result[(1,)]
+        assert poly.coefficient(Monomial({"r1": 2})) == 1
+        assert poly.coefficient(Monomial({"r1": 1, "r2": 1})) == 2
+
+    def test_constant_selection(self, small_db):
+        result = evaluate_cq(parse_cq("Q(a) :- R(a, 2)"), small_db)
+        assert set(result) == {(1,)}
+        assert result[(1,)] == Polynomial({Monomial.of("r1"): 1})
+
+    def test_empty_result(self, small_db):
+        assert evaluate_cq(parse_cq("Q(a) :- R(a, 99)"), small_db) == {}
+
+    def test_repeated_variable_in_atom(self):
+        db = KDatabase(Schema.from_dict({"R": ["a", "b"]}))
+        db.insert("R", (1, 1), "eq")
+        db.insert("R", (1, 2), "ne")
+        result = evaluate_cq(parse_cq("Q(x) :- R(x, x)"), db)
+        assert set(result) == {(1,)}
+        assert result[(1,)] == Polynomial({Monomial.of("eq"): 1})
+
+    def test_constant_in_head(self, small_db):
+        result = evaluate_cq(parse_cq("Q('tag', a) :- R(a, b)"), small_db)
+        assert ("tag", 1) in result
+
+    def test_unknown_relation_rejected(self, small_db):
+        with pytest.raises(EvaluationError):
+            evaluate_cq(parse_cq("Q(x) :- T(x)"), small_db)
+
+    def test_arity_mismatch_rejected(self, small_db):
+        with pytest.raises(EvaluationError):
+            evaluate_cq(parse_cq("Q(x) :- R(x)"), small_db)
+
+
+class TestDerivations:
+    def test_derivation_images_and_monomial(self, small_db):
+        query = parse_cq("Q(a, c) :- R(a, b), S(b, c)")
+        derivs = list(derivations(query, small_db))
+        assert len(derivs) == 2
+        by_monomial = {d.monomial(): d for d in derivs}
+        assert Monomial.of("r1", "s1") in by_monomial
+        d = by_monomial[Monomial.of("r1", "s1")]
+        assert d.output() == (1, 9)
+        assert [t.annotation for t in d.images] == ["r1", "s1"]
+
+    def test_bindings_exposed(self, small_db):
+        query = parse_cq("Q(a) :- R(a, b)")
+        derivation = next(iter(derivations(query, small_db)))
+        assert set(v.name for v in derivation.bindings) == {"a", "b"}
+
+
+class TestEvaluateUCQ:
+    def test_union_adds_provenance(self, small_db):
+        ucq = parse_ucq("Q(b) :- R(a, b); Q(b) :- S(b, c)")
+        result = evaluate_ucq(ucq, small_db)
+        poly = result[(2,)]
+        assert poly.coefficient(Monomial.of("r1")) == 1
+        assert poly.coefficient(Monomial.of("s1")) == 1
+
+    def test_evaluate_dispatches(self, small_db):
+        cq = parse_cq("Q(a) :- R(a, b)")
+        assert evaluate(cq, small_db) == evaluate_cq(cq, small_db)
+        ucq = parse_ucq("Q(a) :- R(a, b); Q(b) :- S(b, c)")
+        assert evaluate(ucq, small_db) == evaluate_ucq(ucq, small_db)

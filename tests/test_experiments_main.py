@@ -1,0 +1,45 @@
+"""Tests for the experiments CLI (python -m repro.experiments.main)."""
+
+import pytest
+
+from repro.experiments.main import RUNNERS, main
+from repro.experiments import settings as settings_module
+from repro.experiments.settings import ExperimentSettings
+
+
+@pytest.fixture
+def tiny_profile(monkeypatch):
+    """Swap the CLI's 'fast' profile for a seconds-scale one."""
+    tiny = ExperimentSettings(
+        privacy_threshold=2,
+        thresholds=(2,),
+        tree_sizes=(20,),
+        tree_heights=(3,),
+        row_counts=(2,),
+        tree_leaves=20,
+        tpch_scale=0.015,
+        imdb_people=50,
+        imdb_movies=30,
+        max_candidates=120,
+        max_seconds=3.0,
+    )
+    monkeypatch.setattr("repro.experiments.main.FAST_SETTINGS", tiny)
+    return tiny
+
+
+class TestMain:
+    def test_runner_table_is_complete(self):
+        # Figures 9-19 plus the two extra studies.
+        for key in [str(i) for i in range(9, 20)] + ["dist", "dual"]:
+            assert key in RUNNERS
+
+    def test_single_figure_run(self, tiny_profile, capsys):
+        main(["--figures", "11", "--queries", "TPCH-Q3"])
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "TPCH-Q3" in out
+        assert "Table 6" in out
+
+    def test_unknown_figure_rejected(self, tiny_profile):
+        with pytest.raises(SystemExit):
+            main(["--figures", "99"])

@@ -1,0 +1,123 @@
+"""Tests for the paper's future-work extensions: inferred trees and Lin(X).
+
+Section 4 sketches (semi-)automatic abstraction-tree construction from
+attribute values; the Lin(X) discussion proposes completing partial lineage
+before running the standard pipeline.  Both are implemented here and
+tested against the running example.
+"""
+
+import pytest
+
+from repro.abstraction.builders import tree_by_attributes
+from repro.core.lineage import complete_lineage, kexamples_from_lineage
+from repro.core.privacy import PrivacyComputer
+from repro.errors import AbstractionError
+from repro.query.containment import is_equivalent
+from repro.query.join_graph import is_connected
+from repro.semirings.polynomial import Monomial
+from repro.examples_data import Q_REAL
+
+
+class TestTreeByAttributes:
+    def test_groups_by_attribute_value(self, paper_db):
+        tree = tree_by_attributes(paper_db, {"Hobbies": ["hobby"]})
+        dance_node = "rel:Hobbies/hobby=Dance"
+        assert dance_node in tree.labels()
+        assert set(tree.leaves_under(dance_node)) == {"h1", "h2", "h3"}
+
+    def test_nested_attributes(self, paper_db):
+        tree = tree_by_attributes(
+            paper_db, {"Hobbies": ["hobby", "source"]}
+        )
+        node = "rel:Hobbies/hobby=Dance/source=Facebook"
+        assert node in tree.labels()
+        assert set(tree.leaves_under(node)) == {"h1", "h3"}
+
+    def test_unlisted_relations_are_flat(self, paper_db):
+        tree = tree_by_attributes(paper_db, {"Hobbies": ["hobby"]})
+        assert set(tree.leaves_under("rel:Person")) == {"p1", "p2"}
+
+    def test_every_annotation_is_a_leaf(self, paper_db):
+        tree = tree_by_attributes(paper_db, {"Interests": ["source"]})
+        assert set(tree.leaves()) == set(paper_db.annotations())
+
+    def test_compatible_with_database(self, paper_db):
+        tree = tree_by_attributes(paper_db, {"Hobbies": ["hobby"]})
+        assert tree.is_compatible_with_annotations(paper_db.annotations())
+
+    def test_usable_for_optimization(self, paper_db, paper_example):
+        """An inferred tree drives the optimizer end to end."""
+        from repro.core.optimizer import find_optimal_abstraction
+
+        tree = tree_by_attributes(
+            paper_db,
+            {"Hobbies": ["hobby"], "Interests": ["interest"]},
+        )
+        result = find_optimal_abstraction(paper_example, tree, threshold=2)
+        assert result.found
+        assert result.privacy >= 2
+
+    def test_requires_kdatabase(self):
+        with pytest.raises(AbstractionError):
+            tree_by_attributes({"not": "a database"}, {})
+
+
+class TestLineageCompletion:
+    def test_full_lineage_is_its_own_completion(self, paper_db):
+        completions = complete_lineage(
+            (1,), ["p1", "h1", "i1"], paper_db, max_extra_tuples=0
+        )
+        assert completions == [Monomial.of("p1", "h1", "i1")]
+
+    def test_partial_lineage_completed(self, paper_db):
+        """Publishing only {p1, h1} still recovers monomials covering 1."""
+        completions = complete_lineage((1,), ["p1", "h1"], paper_db)
+        assert Monomial.of("p1", "h1") in completions  # already connected+covering
+
+    def test_output_coverage_required(self, paper_db):
+        # Output value 999 appears nowhere: no completion exists.
+        completions = complete_lineage((999,), ["p1"], paper_db, max_extra_tuples=1)
+        assert completions == []
+
+    def test_disconnected_lineage_gets_connected(self, paper_db):
+        # h1 (person 1) and h3 (person 4) share only 'Dance'... they do
+        # share 'Dance', so they are already connected; p1+i6 share nothing.
+        completions = complete_lineage((1,), ["p1", "i6"], paper_db)
+        for monomial in completions:
+            assert "p1" in monomial.variables()
+            assert "i6" in monomial.variables()
+            assert monomial.degree() >= 3  # needs a bridge tuple
+
+    def test_completions_are_minimal(self, paper_db):
+        completions = complete_lineage((1,), ["p1"], paper_db)
+        for a in completions:
+            for b in completions:
+                if a is not b:
+                    assert not a.divides(b)
+
+    def test_kexamples_from_lineage_drive_privacy(self, paper_db, paper_tree):
+        """The Lin(X) pipeline: complete, then attack with Algorithm 1."""
+        rows = [((1,), ["p1", "h1", "i1"]), ((2,), ["p2", "h2", "i2"])]
+        examples = kexamples_from_lineage(rows, paper_db, max_extra_tuples=0)
+        assert len(examples) == 1
+        computer = PrivacyComputer(paper_tree, paper_db.registry)
+        from repro.abstraction.function import AbstractionFunction
+
+        identity = AbstractionFunction.identity(
+            paper_tree, examples[0]
+        ).apply(examples[0])
+        cims = computer.cim_queries(identity)
+        assert any(is_equivalent(q, Q_REAL) for q in cims)
+
+    def test_unresolvable_lineage_row(self, paper_db):
+        rows = [((999,), ["p1"])]
+        assert kexamples_from_lineage(rows, paper_db, max_extra_tuples=0) == []
+
+    def test_example_cap(self, paper_db):
+        rows = [((1,), ["p1"])]
+        examples = kexamples_from_lineage(
+            rows, paper_db, max_extra_tuples=2, max_examples=3
+        )
+        assert 0 < len(examples) <= 3
+        for example in examples:
+            assert "p1" in example.rows[0].variables()

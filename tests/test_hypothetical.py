@@ -1,0 +1,139 @@
+"""Tests for the hypothetical-reasoning (what-if deletion) API."""
+
+import pytest
+
+from repro.abstraction.function import AbstractionFunction
+from repro.provenance.builder import build_aggregate_example
+from repro.provenance.hypothetical import HypotheticalReasoner, Verdict
+from repro.semirings.semimodule import AggregateOp
+from repro.query.parser import parse_cq
+
+
+def _delete_annotations(*annotations):
+    targets = set(annotations)
+    return lambda tup: tup.annotation in targets
+
+
+class TestConcreteRows:
+    def test_survives(self, paper_db, paper_example):
+        reasoner = HypotheticalReasoner(paper_db.registry)
+        verdict = reasoner.row_survives(
+            paper_example, 0, _delete_annotations("h3")
+        )
+        assert verdict is Verdict.SURVIVES
+
+    def test_deleted(self, paper_db, paper_example):
+        reasoner = HypotheticalReasoner(paper_db.registry)
+        verdict = reasoner.row_survives(
+            paper_example, 0, _delete_annotations("h1")
+        )
+        assert verdict is Verdict.DELETED
+
+    def test_verdict_is_not_boolean(self):
+        with pytest.raises(TypeError):
+            bool(Verdict.SURVIVES)
+
+
+class TestAbstractedRows:
+    @pytest.fixture
+    def abstracted(self, paper_tree, paper_example):
+        function = AbstractionFunction.uniform(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        return function.apply(paper_example)
+
+    def test_unknown_when_some_leaves_deleted(
+        self, paper_db, paper_tree, abstracted
+    ):
+        reasoner = HypotheticalReasoner(paper_db.registry, paper_tree)
+        verdict = reasoner.abstracted_row_survives(
+            abstracted, 0, _delete_annotations("h1")
+        )
+        assert verdict is Verdict.UNKNOWN  # 'Facebook' might be h1 or not
+
+    def test_deleted_when_all_leaves_deleted(
+        self, paper_db, paper_tree, abstracted
+    ):
+        facebook_leaves = set(paper_tree.leaves_under("Facebook"))
+        reasoner = HypotheticalReasoner(paper_db.registry, paper_tree)
+        verdict = reasoner.abstracted_row_survives(
+            abstracted, 0, _delete_annotations(*facebook_leaves)
+        )
+        assert verdict is Verdict.DELETED
+
+    def test_survives_when_no_leaf_deleted(
+        self, paper_db, paper_tree, abstracted
+    ):
+        reasoner = HypotheticalReasoner(paper_db.registry, paper_tree)
+        verdict = reasoner.abstracted_row_survives(
+            abstracted, 0, _delete_annotations("h6")
+        )
+        assert verdict is Verdict.SURVIVES
+
+    def test_concrete_occurrence_in_abstracted_row(
+        self, paper_db, paper_tree, abstracted
+    ):
+        reasoner = HypotheticalReasoner(paper_db.registry, paper_tree)
+        verdict = reasoner.abstracted_row_survives(
+            abstracted, 0, _delete_annotations("i1")
+        )
+        assert verdict is Verdict.DELETED  # i1 stayed concrete in row 0
+
+    def test_tree_required(self, paper_db, abstracted):
+        reasoner = HypotheticalReasoner(paper_db.registry)
+        with pytest.raises(ValueError):
+            reasoner.abstracted_row_survives(
+                abstracted, 0, _delete_annotations("h1")
+            )
+
+
+class TestAggregates:
+    @pytest.fixture
+    def max_age(self, paper_db):
+        query = parse_cq(
+            "Q(age) :- Person(id, name, age), Hobbies(id, 'Dance', s1),"
+            " Interests(id, 'Music', s2)"
+        )
+        return build_aggregate_example(query, paper_db, AggregateOp.MAX, 0)
+
+    def test_deletion_changes_max(self, paper_db, max_age):
+        reasoner = HypotheticalReasoner(paper_db.registry)
+        assert reasoner.aggregate_after_deletion(
+            max_age, _delete_annotations("h2")
+        ) == 27.0  # Brenda's derivation dies; James's 27 remains
+
+    def test_no_survivors(self, paper_db, max_age):
+        reasoner = HypotheticalReasoner(paper_db.registry)
+        assert reasoner.aggregate_after_deletion(
+            max_age, _delete_annotations("h1", "h2")
+        ) is None
+
+    def test_unrelated_deletion_keeps_value(self, paper_db, max_age):
+        reasoner = HypotheticalReasoner(paper_db.registry)
+        assert reasoner.aggregate_after_deletion(
+            max_age, _delete_annotations("h6")
+        ) == 31.0
+
+    def test_abstracted_bounds(
+        self, paper_db, paper_tree, paper_example, max_age
+    ):
+        function = AbstractionFunction.uniform(
+            paper_tree, paper_example, {"h2": "LinkedIn"}
+        )
+        abstracted_expr = function.apply_to_aggregate(paper_example, max_age)
+        reasoner = HypotheticalReasoner(paper_db.registry, paper_tree)
+        bounds = reasoner.abstracted_aggregate_bounds(
+            abstracted_expr, _delete_annotations("h2")
+        )
+        # Brenda's term may or may not survive: MAX is 27 or 31.
+        assert bounds == (27.0, 31.0)
+
+    def test_abstracted_bounds_all_dead(
+        self, paper_db, paper_tree, paper_example, max_age
+    ):
+        function = AbstractionFunction.identity(paper_tree, paper_example)
+        expr = function.apply_to_aggregate(paper_example, max_age)
+        reasoner = HypotheticalReasoner(paper_db.registry, paper_tree)
+        assert reasoner.abstracted_aggregate_bounds(
+            expr, _delete_annotations("h1", "h2")
+        ) is None

@@ -1,0 +1,116 @@
+"""End-to-end integration tests across modules."""
+
+import math
+
+import pytest
+
+from repro.abstraction.builders import tree_over_annotations
+from repro.abstraction.concretization import ConcretizationEngine
+from repro.abstraction.function import AbstractionFunction
+from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
+from repro.core.privacy import PrivacyComputer
+from repro.datasets.queries import get_query
+from repro.datasets.trees import imdb_ontology_tree
+from repro.provenance.builder import build_kexample
+from repro.query.containment import is_equivalent
+from repro.query.evaluator import evaluate_cq
+from repro.examples_data import Q_REAL
+
+
+class TestPaperPipeline:
+    """The full Example 1.1 -> 3.15 pipeline."""
+
+    def test_end_to_end(self, paper_db, paper_tree):
+        example = build_kexample(Q_REAL, paper_db, n_rows=2)
+        result = find_optimal_abstraction(example, paper_tree, threshold=2)
+        assert result.found and result.abstracted is not None
+
+        # The published abstraction is Ex_abs1 of Figure 5.
+        occurrences = [row.occurrences for row in result.abstracted.rows]
+        assert occurrences == [
+            ("Facebook", "i1", "p1"),
+            ("LinkedIn", "i2", "p2"),
+        ]
+
+        # Verify privacy independently of the optimizer.
+        computer = PrivacyComputer(paper_tree, paper_db.registry)
+        cims = computer.cim_queries(result.abstracted)
+        assert len(cims) == result.privacy == 2
+        assert any(is_equivalent(q, Q_REAL) for q in cims)
+
+    def test_every_cim_query_is_consistent_with_a_concretization(
+        self, paper_db, paper_tree
+    ):
+        """Definition 3.9 sanity: each CIM query evaluates, on some
+        concretization's provenance tuples, to a superset of the outputs."""
+        example = build_kexample(Q_REAL, paper_db, n_rows=2)
+        function = AbstractionFunction.uniform(
+            paper_tree, example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        abstracted = function.apply(example)
+        computer = PrivacyComputer(paper_tree, paper_db.registry)
+        engine = ConcretizationEngine(paper_tree, paper_db.registry)
+
+        for query in computer.cim_queries(abstracted):
+            witnessed = False
+            for concretization in engine.concretizations(abstracted):
+                # Build the restricted input database I of the concretization.
+                from repro.db.database import KDatabase
+
+                restricted = KDatabase(paper_db.schema)
+                seen = set()
+                for row in concretization.rows:
+                    for ann in row.occurrences:
+                        if ann not in seen:
+                            seen.add(ann)
+                            tup = paper_db.resolve(ann)
+                            restricted.insert(tup.relation, tup.values, ann)
+                outputs = set(evaluate_cq(query, restricted))
+                wanted = {row.output for row in concretization.rows}
+                if wanted <= outputs:
+                    witnessed = True
+                    break
+            assert witnessed, f"CIM query not witnessed: {query}"
+
+
+class TestWorkloadPipeline:
+    @pytest.mark.parametrize("name", ["TPCH-Q3", "IMDB-Q1"])
+    def test_workload_end_to_end(self, name, tpch_db, imdb_db):
+        db = tpch_db if name.startswith("TPCH") else imdb_db
+        query = get_query(name)
+        example = build_kexample(query, db, n_rows=2)
+        tree = tree_over_annotations(
+            [t.annotation for t in db.tuples()],
+            n_leaves=60, height=4, seed=0,
+            must_include=sorted(example.variables()),
+        )
+        result = find_optimal_abstraction(
+            example, tree, threshold=2,
+            config=OptimizerConfig(max_candidates=2_000),
+        )
+        assert result.found
+        assert result.privacy >= 2
+        assert result.loi > 0  # raw workload examples are identifiable
+
+    def test_imdb_ontology_pipeline(self, imdb_db):
+        query = get_query("IMDB-Q6")
+        example = build_kexample(query, imdb_db, n_rows=2)
+        tree = imdb_ontology_tree(imdb_db)
+        result = find_optimal_abstraction(
+            example, tree, threshold=2,
+            config=OptimizerConfig(max_candidates=2_000),
+        )
+        assert result.found
+        assert result.privacy >= 2
+
+
+class TestMonotonicity:
+    def test_higher_threshold_never_cheaper(self, paper_db, paper_tree):
+        """More privacy can only cost more information (Figure 11's law)."""
+        example = build_kexample(Q_REAL, paper_db, n_rows=2)
+        lois = []
+        for threshold in (1, 2, 3):
+            result = find_optimal_abstraction(example, paper_tree, threshold)
+            if result.found:
+                lois.append(result.loi)
+        assert lois == sorted(lois)

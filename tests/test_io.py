@@ -1,0 +1,155 @@
+"""Tests for JSON/CSV serialization and the renderers."""
+
+import json
+
+import pytest
+
+from repro.abstraction.function import AbstractionFunction
+from repro.core.optimizer import find_optimal_abstraction
+from repro.errors import SchemaError
+from repro.io.csv_io import database_from_csv_dir, database_to_csv_dir
+from repro.io.json_io import (
+    abstraction_from_json,
+    abstraction_to_json,
+    database_from_json,
+    database_to_json,
+    dumps,
+    kexample_from_json,
+    kexample_to_json,
+    result_to_json,
+    tree_from_json,
+    tree_to_json,
+)
+from repro.render import render_kexample, render_query, render_result, render_tree
+from repro.examples_data import Q_REAL
+
+
+class TestDatabaseJson:
+    def test_round_trip(self, paper_db):
+        data = database_to_json(paper_db)
+        restored = database_from_json(data)
+        assert restored.annotations() == paper_db.annotations()
+        assert restored.resolve("h1").values == paper_db.resolve("h1").values
+
+    def test_json_serializable(self, paper_db):
+        text = json.dumps(database_to_json(paper_db))
+        assert "h1" in text
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SchemaError):
+            database_from_json({"tuples": []})
+
+
+class TestTreeJson:
+    def test_round_trip(self, paper_tree):
+        data = tree_to_json(paper_tree)
+        restored = tree_from_json(data)
+        assert restored.labels() == paper_tree.labels()
+        assert set(restored.leaves()) == set(paper_tree.leaves())
+        assert restored.ancestors("h1") == paper_tree.ancestors("h1")
+
+    def test_restored_tree_is_frozen(self, paper_tree):
+        restored = tree_from_json(tree_to_json(paper_tree))
+        assert restored.leaf_count("Facebook") == 5
+
+
+class TestKExampleJson:
+    def test_round_trip(self, paper_db, paper_example):
+        data = kexample_to_json(paper_example)
+        restored = kexample_from_json(data, paper_db)
+        assert restored == paper_example
+
+    def test_preserves_multiplicity(self, paper_db):
+        from repro.provenance.kexample import KExample, KExampleRow
+
+        example = KExample(
+            [KExampleRow((1,), ["h1", "h1", "p1"])], paper_db.registry
+        )
+        restored = kexample_from_json(kexample_to_json(example), paper_db)
+        assert restored.rows[0].occurrences == ("h1", "h1", "p1")
+
+
+class TestAbstractionJson:
+    def test_round_trip(self, paper_tree, paper_example):
+        function = AbstractionFunction.uniform(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        data = abstraction_to_json(function)
+        restored = abstraction_from_json(data, paper_tree, paper_example)
+        assert restored.assignment == function.assignment
+
+    def test_result_to_json(self, paper_tree, paper_example):
+        result = find_optimal_abstraction(paper_example, paper_tree, threshold=2)
+        data = result_to_json(result)
+        assert data["found"] is True
+        assert data["privacy"] == 2
+        assert "abstraction" in data
+        json.dumps(data)  # must be serializable
+
+    def test_dumps_stable(self, paper_tree, paper_example):
+        result = find_optimal_abstraction(paper_example, paper_tree, threshold=1)
+        assert dumps(result_to_json(result)) == dumps(result_to_json(result))
+
+
+class TestCsv:
+    def test_round_trip(self, paper_db, tmp_path):
+        database_to_csv_dir(paper_db, tmp_path)
+        restored = database_from_csv_dir(tmp_path)
+        assert restored.annotations() == paper_db.annotations()
+        assert restored.resolve("p1").values == (1, "James T", 27)
+
+    def test_numeric_parsing(self, paper_db, tmp_path):
+        database_to_csv_dir(paper_db, tmp_path)
+        restored = database_from_csv_dir(tmp_path)
+        pid, name, age = restored.resolve("p2").values
+        assert isinstance(pid, int)
+        assert isinstance(name, str)
+        assert isinstance(age, int)
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            database_from_csv_dir(tmp_path)
+
+    def test_missing_annotation_column_rejected(self, tmp_path):
+        (tmp_path / "R.csv").write_text("a,b\n1,2\n")
+        with pytest.raises(SchemaError):
+            database_from_csv_dir(tmp_path)
+
+    def test_column_count_mismatch_rejected(self, tmp_path):
+        (tmp_path / "R.csv").write_text("_annotation,a\nt1,1,2\n")
+        with pytest.raises(SchemaError):
+            database_from_csv_dir(tmp_path)
+
+
+class TestRender:
+    def test_render_tree(self, paper_tree, paper_example):
+        art = render_tree(paper_tree, highlight=paper_example.variables())
+        assert "Social Network" in art
+        assert "h1 *" in art
+
+    def test_render_tree_elides_children(self, paper_tree):
+        art = render_tree(paper_tree, max_children=2)
+        assert "more)" in art
+
+    def test_render_kexample(self, paper_example):
+        text = render_kexample(paper_example)
+        assert "Output" in text
+        assert "h1*i1*p1" in text
+
+    def test_render_query_reparsable(self):
+        from repro.query.parser import parse_cq
+
+        text = render_query(Q_REAL)
+        assert parse_cq(text) == Q_REAL
+
+    def test_render_result(self, paper_tree, paper_example):
+        result = find_optimal_abstraction(paper_example, paper_tree, threshold=2)
+        text = render_result(result)
+        assert "privacy             : 2" in text
+        assert "Facebook" in text
+
+    def test_render_unfound_result(self, paper_tree, paper_example):
+        result = find_optimal_abstraction(
+            paper_example, paper_tree, threshold=10**6
+        )
+        assert "no abstraction" in render_result(result)

@@ -1,0 +1,135 @@
+"""Tests for K-examples and their construction."""
+
+import pytest
+
+from repro.db.database import KDatabase
+from repro.db.schema import Schema
+from repro.errors import EvaluationError, SchemaError
+from repro.provenance.builder import build_aggregate_example, build_kexample
+from repro.provenance.kexample import KExample, KExampleRow
+from repro.semirings.polynomial import Monomial
+from repro.semirings.semimodule import AggregateOp
+from repro.examples_data import Q_REAL
+from repro.query.parser import parse_cq
+
+
+class TestKExampleRow:
+    def test_from_monomial(self):
+        row = KExampleRow((1,), Monomial({"b": 2, "a": 1}))
+        assert row.occurrences == ("a", "b", "b")
+        assert row.monomial() == Monomial({"a": 1, "b": 2})
+        assert row.variables() == frozenset({"a", "b"})
+
+    def test_from_iterable(self):
+        row = KExampleRow((1,), ["y", "x"])
+        assert row.occurrences == ("x", "y")
+
+    def test_empty_provenance_rejected(self):
+        with pytest.raises(SchemaError):
+            KExampleRow((1,), [])
+
+    def test_replace_positionally(self):
+        row = KExampleRow((1,), ["a", "b"])
+        replaced = row.replace(["a", "c"])
+        assert replaced.occurrences == ("a", "c")
+        assert replaced.output == (1,)
+
+    def test_replace_wrong_length_rejected(self):
+        with pytest.raises(SchemaError):
+            KExampleRow((1,), ["a", "b"]).replace(["a"])
+
+
+class TestKExample:
+    def test_paper_example(self, paper_example):
+        assert len(paper_example) == 2
+        assert paper_example.variables() == frozenset(
+            {"p1", "h1", "i1", "p2", "h2", "i2"}
+        )
+        assert paper_example.tuple_of("h1").values == (1, "Dance", "Facebook")
+
+    def test_unknown_annotation_rejected(self, paper_db):
+        with pytest.raises(SchemaError):
+            KExample([KExampleRow((1,), ["ghost"])], paper_db.registry)
+
+    def test_at_least_one_row(self, paper_db):
+        with pytest.raises(SchemaError):
+            KExample([], paper_db.registry)
+
+    def test_prefix(self, paper_example):
+        assert len(paper_example.prefix(1)) == 1
+        assert paper_example.prefix(1).rows[0] == paper_example.rows[0]
+
+    def test_connectivity_of_real_derivations(self, paper_example):
+        assert paper_example.is_connected()
+        assert paper_example.row_is_connected(0)
+
+    def test_disconnected_row_detected(self, paper_db):
+        # h1=(1,'Dance','Facebook') and i6=(4,'Movies','WikiLeaks') share
+        # no constant, so the row's tuple graph is disconnected.
+        example = KExample([KExampleRow((1,), ["h1", "i6"])], paper_db.registry)
+        assert not example.is_connected()
+
+    def test_connected_via_shared_constant(self, paper_db):
+        # h1 and h2 share the constant 'Dance'.
+        example = KExample([KExampleRow((1,), ["h1", "h2"])], paper_db.registry)
+        assert example.is_connected()
+
+    def test_equality_is_registry_independent(self, paper_db, paper_example):
+        clone = KExample(paper_example.rows, paper_db.registry)
+        assert clone == paper_example
+        assert hash(clone) == hash(paper_example)
+
+
+class TestBuildKExample:
+    def test_builds_requested_rows(self, paper_db):
+        example = build_kexample(Q_REAL, paper_db, n_rows=2)
+        outputs = {row.output for row in example.rows}
+        assert outputs == {(1,), (2,)}
+
+    def test_too_many_rows_requested(self, paper_db):
+        with pytest.raises(EvaluationError):
+            build_kexample(Q_REAL, paper_db, n_rows=5)
+
+    def test_distinct_outputs_flag(self, paper_db):
+        query = parse_cq("Q(id) :- Person(id, n, a), Interests(id, i, s)")
+        distinct = build_kexample(query, paper_db, n_rows=2)
+        assert len({r.output for r in distinct.rows}) == 2
+        repeated = build_kexample(
+            query, paper_db, n_rows=2, distinct_outputs=False
+        )
+        # Person 1 has two interests: same output twice, different monomials.
+        assert len({r.monomial() for r in repeated.rows}) == 2
+
+    def test_monomials_match_derivations(self, paper_db):
+        example = build_kexample(Q_REAL, paper_db, n_rows=2)
+        by_output = {row.output: row.monomial() for row in example.rows}
+        assert by_output[(1,)] == Monomial.of("p1", "h1", "i1")
+        assert by_output[(2,)] == Monomial.of("p2", "h2", "i2")
+
+
+class TestBuildAggregateExample:
+    def test_max_age(self, paper_db):
+        query = parse_cq(
+            "Q(age) :- Person(id, name, age), Hobbies(id, 'Dance', s1),"
+            " Interests(id, 'Music', s2)"
+        )
+        expression = build_aggregate_example(query, paper_db, AggregateOp.MAX, 0)
+        assert expression.evaluate() == 31.0
+        assert len(expression.terms) == 2
+
+    def test_non_numeric_column_rejected(self, paper_db):
+        query = parse_cq("Q(name) :- Person(id, name, age)")
+        with pytest.raises(EvaluationError):
+            build_aggregate_example(query, paper_db, AggregateOp.MAX, 0)
+
+    def test_no_results_rejected(self, paper_db):
+        query = parse_cq("Q(age) :- Person(id, name, age), Hobbies(id, 'Chess', s)")
+        with pytest.raises(EvaluationError):
+            build_aggregate_example(query, paper_db, AggregateOp.MAX, 0)
+
+    def test_term_cap(self, paper_db):
+        query = parse_cq("Q(age) :- Person(id, name, age)")
+        expression = build_aggregate_example(
+            query, paper_db, AggregateOp.COUNT, 0, n_terms=1
+        )
+        assert len(expression.terms) == 1

@@ -1,0 +1,119 @@
+"""Tests for the loss-of-information measures."""
+
+import math
+
+import pytest
+
+from repro.abstraction.concretization import ConcretizationEngine
+from repro.abstraction.function import AbstractionFunction
+from repro.core.loi import (
+    ExplicitDistribution,
+    LeafWeightDistribution,
+    UniformDistribution,
+    loss_of_information,
+)
+from repro.errors import AbstractionError
+
+
+def _abstract(tree, example, targets):
+    return AbstractionFunction.uniform(tree, example, targets).apply(example)
+
+
+class TestUniform:
+    def test_identity_loses_nothing(self, paper_tree, paper_example):
+        abstracted = _abstract(paper_tree, paper_example, {})
+        assert loss_of_information(abstracted, paper_tree) == 0.0
+
+    def test_paper_ln15(self, paper_tree, paper_example):
+        abstracted = _abstract(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        assert math.isclose(
+            loss_of_information(abstracted, paper_tree), math.log(15)
+        )
+
+    def test_paper_ln20(self, paper_tree, paper_example):
+        abstracted = _abstract(
+            paper_tree, paper_example, {"i1": "WikiLeaks", "i2": "Facebook"}
+        )
+        assert math.isclose(
+            loss_of_information(abstracted, paper_tree), math.log(20)
+        )
+
+    def test_monotone_in_abstraction_level(self, paper_tree, paper_example):
+        low = _abstract(paper_tree, paper_example, {"h1": "Facebook"})
+        high = _abstract(paper_tree, paper_example, {"h1": "Social Network"})
+        top = _abstract(paper_tree, paper_example, {"h1": "*"})
+        assert (
+            loss_of_information(low, paper_tree)
+            < loss_of_information(high, paper_tree)
+            < loss_of_information(top, paper_tree)
+        )
+
+    def test_default_distribution_is_uniform(self, paper_tree, paper_example):
+        abstracted = _abstract(paper_tree, paper_example, {"h1": "Facebook"})
+        assert loss_of_information(abstracted, paper_tree) == loss_of_information(
+            abstracted, paper_tree, UniformDistribution()
+        )
+
+
+class TestLeafWeights:
+    def test_equal_weights_reduce_to_uniform(self, paper_tree, paper_example):
+        abstracted = _abstract(paper_tree, paper_example, {"h1": "Facebook"})
+        dist = LeafWeightDistribution({leaf: 1.0 for leaf in paper_tree.leaves()})
+        assert math.isclose(
+            loss_of_information(abstracted, paper_tree, dist),
+            loss_of_information(abstracted, paper_tree),
+        )
+
+    def test_skewed_weights_lower_entropy(self, paper_tree, paper_example):
+        abstracted = _abstract(paper_tree, paper_example, {"h1": "Facebook"})
+        # Nearly all mass on one leaf under Facebook: low uncertainty.
+        weights = {leaf: 1.0 for leaf in paper_tree.leaves()}
+        weights["h1"] = 1000.0
+        dist = LeafWeightDistribution(weights)
+        assert loss_of_information(abstracted, paper_tree, dist) < (
+            loss_of_information(abstracted, paper_tree)
+        )
+
+    def test_missing_weights_default_to_one(self, paper_tree, paper_example):
+        abstracted = _abstract(paper_tree, paper_example, {"h1": "Facebook"})
+        dist = LeafWeightDistribution({})
+        assert math.isclose(
+            loss_of_information(abstracted, paper_tree, dist),
+            loss_of_information(abstracted, paper_tree),
+        )
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(AbstractionError):
+            LeafWeightDistribution({"x": 0.0})
+
+
+class TestExplicit:
+    def test_paper_example_37(self, paper_tree, paper_db, paper_example):
+        """Example 3.7: probabilities .1/.2/.3/.4 give entropy ~ 1.279."""
+        abstracted = _abstract(paper_tree, paper_example, {"i1": "WikiLeaks"})
+        dist = ExplicitDistribution([0.1, 0.2, 0.3, 0.4])
+        engine = ConcretizationEngine(paper_tree, paper_db.registry)
+        loi = dist.loi(abstracted, paper_tree, engine)
+        assert math.isclose(loi, 1.27985, abs_tol=1e-4)
+
+    def test_uniform_probabilities_match_ln(self, paper_tree, paper_db, paper_example):
+        abstracted = _abstract(paper_tree, paper_example, {"i1": "WikiLeaks"})
+        dist = ExplicitDistribution([0.25] * 4)
+        engine = ConcretizationEngine(paper_tree, paper_db.registry)
+        assert math.isclose(dist.loi(abstracted, paper_tree, engine), math.log(4))
+
+    def test_size_mismatch_rejected(self, paper_tree, paper_db, paper_example):
+        abstracted = _abstract(paper_tree, paper_example, {"i1": "WikiLeaks"})
+        engine = ConcretizationEngine(paper_tree, paper_db.registry)
+        with pytest.raises(AbstractionError):
+            ExplicitDistribution([0.5, 0.5]).loi(abstracted, paper_tree, engine)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(AbstractionError):
+            ExplicitDistribution([0.5, 0.4])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(AbstractionError):
+            ExplicitDistribution([1.5, -0.5])

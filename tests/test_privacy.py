@@ -1,0 +1,141 @@
+"""Tests for Algorithm 1: privacy computation."""
+
+import pytest
+
+from repro.abstraction.function import AbstractionFunction
+from repro.core.privacy import PrivacyComputer, PrivacyConfig
+from repro.errors import OptimizationError
+from repro.query.containment import is_equivalent
+from repro.examples_data import Q_FALSE_1, Q_FALSE_2, Q_REAL
+
+
+def _abstract(tree, example, targets):
+    return AbstractionFunction.uniform(tree, example, targets).apply(example)
+
+
+@pytest.fixture
+def computer(paper_tree, paper_db):
+    return PrivacyComputer(paper_tree, paper_db.registry)
+
+
+class TestPaperExamples:
+    def test_raw_example_privacy_is_1(self, computer, paper_tree, paper_example):
+        """The unabstracted K-example reveals Q_real."""
+        identity = _abstract(paper_tree, paper_example, {})
+        cims = computer.cim_queries(identity)
+        assert len(cims) == 1
+        (only,) = cims
+        assert is_equivalent(only, Q_REAL)
+
+    def test_abs1_privacy_is_2(self, computer, paper_tree, paper_example):
+        """Example 3.13: Ex_abs1 has exactly the CIM queries Q_real, Q_false_1."""
+        abstracted = _abstract(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        cims = computer.cim_queries(abstracted)
+        assert len(cims) == 2
+        assert any(is_equivalent(q, Q_REAL) for q in cims)
+        assert any(is_equivalent(q, Q_FALSE_1) for q in cims)
+
+    def test_abs2_privacy_is_2(self, computer, paper_tree, paper_example):
+        """Example 3.15: Ex_abs2 has CIM queries Q_real and Q_false_2."""
+        abstracted = _abstract(
+            paper_tree, paper_example, {"i1": "WikiLeaks", "i2": "Facebook"}
+        )
+        cims = computer.cim_queries(abstracted)
+        assert len(cims) == 2
+        assert any(is_equivalent(q, Q_REAL) for q in cims)
+        assert any(is_equivalent(q, Q_FALSE_2) for q in cims)
+
+    def test_abs3_fails_threshold_2(self, computer, paper_tree, paper_example):
+        """Example 4.2: Ex_abs3's only CIM query is Q_real -> returns -1."""
+        abstracted = _abstract(paper_tree, paper_example, {"i1": "WikiLeaks"})
+        assert computer.compute(abstracted, threshold=2) == -1
+        assert computer.privacy(abstracted) == 1
+
+    def test_compute_returns_count_when_met(
+        self, computer, paper_tree, paper_example
+    ):
+        abstracted = _abstract(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        assert computer.compute(abstracted, threshold=2) == 2
+
+
+class TestConfigEquivalence:
+    """All four optimization switches must not change the result."""
+
+    CONFIGS = [
+        PrivacyConfig(),
+        PrivacyConfig(row_by_row=False),
+        PrivacyConfig(connectivity_filter=False),
+        PrivacyConfig(cache_queries=False, cache_connectivity=False),
+        PrivacyConfig(
+            row_by_row=False,
+            connectivity_filter=False,
+            cache_queries=False,
+            cache_connectivity=False,
+        ),
+    ]
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    @pytest.mark.parametrize(
+        "targets",
+        [
+            {"h1": "Facebook", "h2": "LinkedIn"},
+            {"i1": "WikiLeaks", "i2": "Facebook"},
+            {"i1": "WikiLeaks"},
+            {"h1": "Social Network"},
+        ],
+    )
+    def test_privacy_invariant_under_config(
+        self, paper_tree, paper_db, paper_example, config, targets
+    ):
+        reference = PrivacyComputer(paper_tree, paper_db.registry)
+        abstracted = _abstract(paper_tree, paper_example, targets)
+        expected = reference.privacy(abstracted)
+        actual = PrivacyComputer(paper_tree, paper_db.registry, config).privacy(
+            abstracted
+        )
+        assert actual == expected
+
+
+class TestMechanics:
+    def test_caching_hits_on_repeat(self, paper_tree, paper_db, paper_example):
+        computer = PrivacyComputer(paper_tree, paper_db.registry)
+        abstracted = _abstract(paper_tree, paper_example, {"i1": "WikiLeaks"})
+        computer.privacy(abstracted)
+        misses_after_first = computer.stats.query_cache_misses
+        computer.privacy(abstracted)
+        assert computer.stats.query_cache_hits > 0
+        assert computer.stats.query_cache_misses == misses_after_first
+
+    def test_connectivity_filter_prunes(self, paper_tree, paper_db, paper_example):
+        computer = PrivacyComputer(paper_tree, paper_db.registry)
+        abstracted = _abstract(paper_tree, paper_example, {"i1": "WikiLeaks"})
+        computer.privacy(abstracted)
+        # Figure 6: c1 and c4 are disconnected and must be pruned.
+        assert computer.stats.concretizations_pruned_disconnected >= 2
+
+    def test_budget_guard(self, paper_tree, paper_db, paper_example):
+        config = PrivacyConfig(max_concretizations=2)
+        computer = PrivacyComputer(paper_tree, paper_db.registry, config)
+        abstracted = _abstract(
+            paper_tree, paper_example,
+            {v: "*" for v in ("h1", "h2", "i1", "i2")},
+        )
+        with pytest.raises(OptimizationError):
+            computer.privacy(abstracted)
+
+    def test_single_row_privacy(self, paper_tree, paper_db, paper_example):
+        computer = PrivacyComputer(paper_tree, paper_db.registry)
+        single = paper_example.prefix(1)
+        abstracted = _abstract(paper_tree, single, {"h1": "Facebook"})
+        privacy = computer.privacy(abstracted)
+        assert privacy >= 1
+
+    def test_threshold_zero_never_negative(
+        self, computer, paper_tree, paper_example
+    ):
+        abstracted = _abstract(paper_tree, paper_example, {})
+        assert computer.compute(abstracted, threshold=0) >= 0

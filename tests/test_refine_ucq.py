@@ -1,0 +1,123 @@
+"""Tests for per-occurrence refinement and the UCQ utilities."""
+
+import pytest
+
+from repro.abstraction.function import AbstractionFunction
+from repro.core.optimizer import find_optimal_abstraction
+from repro.core.privacy import PrivacyComputer
+from repro.core.refine import refine_per_occurrence
+from repro.core.consistency import ConsistencyConfig, consistent_queries, trivial_union_query
+from repro.errors import OptimizationError
+from repro.query.ast import UCQ
+from repro.query.containment import ucq_is_contained_in, ucq_is_equivalent
+from repro.query.join_graph import is_connected
+from repro.query.parser import parse_cq, parse_ucq
+
+
+class TestRefinePerOccurrence:
+    def test_never_raises_loi(self, paper_example, paper_tree, paper_db):
+        result = find_optimal_abstraction(paper_example, paper_tree, threshold=2)
+        assert result.found and result.function is not None
+        refined = refine_per_occurrence(
+            paper_example, paper_tree, result.function, threshold=2
+        )
+        assert refined.loi <= result.loi + 1e-12
+        assert refined.privacy >= 2
+
+    def test_refined_privacy_verified_independently(
+        self, paper_example, paper_tree, paper_db
+    ):
+        result = find_optimal_abstraction(paper_example, paper_tree, threshold=2)
+        refined = refine_per_occurrence(
+            paper_example, paper_tree, result.function, threshold=2
+        )
+        computer = PrivacyComputer(paper_tree, paper_db.registry)
+        abstracted = refined.function.apply(paper_example)
+        assert computer.privacy(abstracted) == refined.privacy
+
+    def test_identity_input_is_fixpoint(self, paper_example, paper_tree):
+        identity = AbstractionFunction.identity(paper_tree, paper_example)
+        refined = refine_per_occurrence(
+            paper_example, paper_tree, identity, threshold=1
+        )
+        assert refined.moves_applied == 0
+        assert refined.loi == 0.0
+
+    def test_unsatisfied_input_rejected(self, paper_example, paper_tree):
+        identity = AbstractionFunction.identity(paper_tree, paper_example)
+        with pytest.raises(OptimizationError):
+            refine_per_occurrence(
+                paper_example, paper_tree, identity, threshold=2
+            )
+
+    def test_coarse_input_refines_down(self, paper_example, paper_tree):
+        """Starting from an over-coarse abstraction, refinement recovers a
+        cheaper per-occurrence one with the same guarantee."""
+        coarse = AbstractionFunction.uniform(
+            paper_tree, paper_example,
+            {"h1": "Social Network", "h2": "Social Network"},
+        )
+        from repro.core.loi import loss_of_information
+
+        coarse_loi = loss_of_information(coarse.apply(paper_example), paper_tree)
+        refined = refine_per_occurrence(
+            paper_example, paper_tree, coarse, threshold=2
+        )
+        assert refined.loi < coarse_loi
+        assert refined.moves_applied >= 1
+
+
+class TestUCQContainment:
+    def test_cq_fallback(self):
+        q1 = parse_cq("Q(x) :- R(x, 'a')")
+        q2 = parse_cq("Q(x) :- R(x, y)")
+        assert ucq_is_contained_in(q1, q2)
+        assert not ucq_is_contained_in(q2, q1)
+
+    def test_union_containment(self):
+        union = parse_ucq("Q(x) :- R(x, 'a'); Q(x) :- R(x, 'b')")
+        general = parse_ucq("Q(x) :- R(x, y)")
+        assert ucq_is_contained_in(union, general)
+        assert not ucq_is_contained_in(general, union)
+
+    def test_equivalence_modulo_disjunct_order(self):
+        u1 = parse_ucq("Q(x) :- R(x, 'a'); Q(x) :- S(x)")
+        u2 = parse_ucq("Q(x) :- S(x); Q(x) :- R(x, 'a')")
+        assert ucq_is_equivalent(u1, u2)
+
+    def test_redundant_disjunct_equivalence(self):
+        lean = parse_ucq("Q(x) :- R(x, y)")
+        redundant = parse_ucq("Q(x) :- R(x, y); Q(x) :- R(x, 'a')")
+        assert ucq_is_equivalent(lean, redundant)
+
+
+class TestTrivialUnionQuery:
+    def test_shape(self, paper_example):
+        trivial = trivial_union_query(paper_example)
+        assert isinstance(trivial, UCQ)
+        assert len(trivial.disjuncts) == len(paper_example.rows)
+        for disjunct in trivial.disjuncts:
+            assert not disjunct.variables()  # fully ground
+
+    def test_connected_under_ucq_definition(self, paper_example):
+        # Each disjunct has single-constant atoms: connectivity is judged
+        # per disjunct; ground atoms share no *variables*, so the trivial
+        # union is disconnected and already ruled out by line 13.
+        trivial = trivial_union_query(paper_example)
+        assert not is_connected(trivial)
+
+    def test_require_variable_excludes_ground_disjunct_shape(self, paper_db):
+        """The CQ-level analogue: ground queries vanish from the candidate
+        set when require_variable is on (the paper's UCQ adjustment)."""
+        from repro.provenance.kexample import KExample, KExampleRow
+
+        example = KExample(
+            [KExampleRow((1,), ["p1"]), KExampleRow((2,), ["p2"])],
+            paper_db.registry,
+        )
+        default = consistent_queries(example)
+        filtered = consistent_queries(
+            example, ConsistencyConfig(require_variable=True)
+        )
+        assert all(q.variables() for q in filtered)
+        assert filtered <= default

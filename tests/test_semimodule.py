@@ -1,0 +1,66 @@
+"""Tests for aggregate provenance (semimodule expressions)."""
+
+import pytest
+
+from repro.semirings.polynomial import Monomial
+from repro.semirings.semimodule import AggregateExpression, AggregateOp, AggregateTerm
+
+
+def _expr(op, *pairs):
+    return AggregateExpression(
+        op, [AggregateTerm(Monomial.of(*vars_), value) for vars_, value in pairs]
+    )
+
+
+class TestAggregateOp:
+    def test_max(self):
+        assert AggregateOp.MAX.combine([1.0, 3.0, 2.0]) == 3.0
+
+    def test_min(self):
+        assert AggregateOp.MIN.combine([1.0, 3.0, 2.0]) == 1.0
+
+    def test_sum(self):
+        assert AggregateOp.SUM.combine([1.0, 3.0, 2.0]) == 6.0
+
+    def test_count(self):
+        assert AggregateOp.COUNT.combine([5.0, 5.0]) == 2.0
+
+
+class TestAggregateExpression:
+    def test_paper_example(self):
+        """The MAX-age expression of Section 3.4."""
+        expr = _expr(AggregateOp.MAX, (("p1", "h1", "i1"), 27), (("p2", "h2", "i2"), 31))
+        assert expr.evaluate() == 31.0
+        assert expr.variables() == frozenset({"p1", "h1", "i1", "p2", "h2", "i2"})
+
+    def test_rename_affects_annotations_only(self):
+        expr = _expr(AggregateOp.MAX, (("p1", "h1"), 27))
+        renamed = expr.rename({"h1": "Facebook"})
+        (term,) = renamed.terms
+        assert term.annotation == Monomial.of("p1", "Facebook")
+        assert term.value == 27
+
+    def test_terms_are_canonically_ordered(self):
+        e1 = _expr(AggregateOp.SUM, (("a",), 1), (("b",), 2))
+        e2 = _expr(AggregateOp.SUM, (("b",), 2), (("a",), 1))
+        assert e1 == e2
+        assert hash(e1) == hash(e2)
+
+    def test_addition_concatenates_terms(self):
+        e1 = _expr(AggregateOp.MAX, (("a",), 1))
+        e2 = _expr(AggregateOp.MAX, (("b",), 2))
+        assert (e1 + e2).evaluate() == 2.0
+
+    def test_addition_of_mismatched_ops_rejected(self):
+        e1 = _expr(AggregateOp.MAX, (("a",), 1))
+        e2 = _expr(AggregateOp.MIN, (("b",), 2))
+        with pytest.raises(ValueError):
+            e1 + e2
+
+    def test_empty_expression_cannot_evaluate(self):
+        with pytest.raises(ValueError):
+            AggregateExpression(AggregateOp.SUM).evaluate()
+
+    def test_repr_shows_tensors(self):
+        expr = _expr(AggregateOp.MAX, (("a",), 1.0))
+        assert "(x)" in repr(expr)

@@ -1,0 +1,68 @@
+"""Privacy computation across the semiring hierarchy (Table 4).
+
+Coarser provenance admits at least as many consistent queries, so privacy
+under a coarser semiring can only grow or stay equal — the paper's core
+argument for why less-detailed semirings are *not* a substitute for
+abstraction ([23]'s finding, recalled in Related Work).
+"""
+
+import pytest
+
+from repro.abstraction.function import AbstractionFunction
+from repro.core.consistency import ConsistencyConfig
+from repro.core.privacy import PrivacyComputer, PrivacyConfig
+from repro.semirings.base import SemiringName
+
+
+def _computer(tree, registry, semiring, reuse=1):
+    return PrivacyComputer(
+        tree, registry,
+        PrivacyConfig(
+            consistency=ConsistencyConfig(
+                semiring=semiring, max_tuple_reuse=reuse
+            )
+        ),
+    )
+
+
+class TestSemiringPrivacy:
+    @pytest.mark.parametrize("semiring", [
+        SemiringName.NX, SemiringName.BX, SemiringName.TRIO,
+        SemiringName.WHY, SemiringName.POSBOOL,
+    ])
+    def test_raw_example_identifiable_in_every_semiring(
+        self, paper_tree, paper_db, paper_example, semiring
+    ):
+        """[23]'s finding: dropping to a coarser semiring alone does not
+        hide Q_real on the running example (its rows have no repeated
+        tuples, so the views coincide)."""
+        computer = _computer(paper_tree, paper_db.registry, semiring)
+        identity = AbstractionFunction.identity(
+            paper_tree, paper_example
+        ).apply(paper_example)
+        assert computer.privacy(identity) == 1
+
+    def test_why_with_reuse_no_less_private_than_nx(
+        self, paper_tree, paper_db, paper_example
+    ):
+        nx = _computer(paper_tree, paper_db.registry, SemiringName.NX)
+        why = _computer(
+            paper_tree, paper_db.registry, SemiringName.WHY, reuse=2
+        )
+        abstracted = AbstractionFunction.uniform(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        ).apply(paper_example)
+        assert why.privacy(abstracted) >= nx.privacy(abstracted)
+
+    def test_abstraction_still_needed_under_why(
+        self, paper_tree, paper_db, paper_example
+    ):
+        """Even in Why(X), meeting k=2 on the running example requires an
+        actual abstraction, echoing the paper's motivation."""
+        computer = _computer(
+            paper_tree, paper_db.registry, SemiringName.WHY
+        )
+        identity = AbstractionFunction.identity(
+            paper_tree, paper_example
+        ).apply(paper_example)
+        assert computer.compute(identity, threshold=2) == -1

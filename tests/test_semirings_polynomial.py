@@ -1,0 +1,199 @@
+"""Unit and property tests for N[X] monomials and polynomials."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semirings.polynomial import Monomial, Polynomial
+
+# -- strategies ---------------------------------------------------------------
+
+variables = st.sampled_from(["a", "b", "c", "d", "e"])
+monomials = st.dictionaries(
+    variables, st.integers(min_value=1, max_value=3), max_size=4
+).map(Monomial)
+polynomials = st.lists(
+    st.tuples(monomials, st.integers(min_value=1, max_value=3)),
+    max_size=4,
+).map(lambda pairs: Polynomial({m: c for m, c in pairs}))
+
+
+# -- Monomial -----------------------------------------------------------------
+
+class TestMonomial:
+    def test_empty_is_one(self):
+        assert Monomial.one() == Monomial()
+        assert Monomial.one().degree() == 0
+        assert repr(Monomial.one()) == "1"
+
+    def test_of_builds_from_names(self):
+        mono = Monomial.of("a", "b", "a")
+        assert mono.exponent("a") == 2
+        assert mono.exponent("b") == 1
+        assert mono.exponent("z") == 0
+
+    def test_from_iterable_counts_occurrences(self):
+        assert Monomial(["x", "x", "y"]) == Monomial({"x": 2, "y": 1})
+
+    def test_zero_exponent_entries_are_dropped(self):
+        assert Monomial({"a": 0, "b": 1}) == Monomial({"b": 1})
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            Monomial({"a": -1})
+
+    def test_variables_and_degree(self):
+        mono = Monomial({"a": 2, "b": 1})
+        assert mono.variables() == frozenset({"a", "b"})
+        assert mono.degree() == 3
+
+    def test_expand_respects_multiplicity(self):
+        assert Monomial({"b": 2, "a": 1}).expand() == ("a", "b", "b")
+
+    def test_support_drops_exponents(self):
+        assert Monomial({"a": 3, "b": 2}).support() == Monomial({"a": 1, "b": 1})
+
+    def test_multiplication_adds_exponents(self):
+        assert Monomial.of("a") * Monomial.of("a", "b") == Monomial({"a": 2, "b": 1})
+
+    def test_multiplication_with_string(self):
+        assert Monomial.of("a") * "b" == Monomial.of("a", "b")
+
+    def test_one_is_multiplicative_identity(self):
+        mono = Monomial.of("a", "b")
+        assert mono * Monomial.one() == mono
+
+    def test_rename_merges_targets(self):
+        mono = Monomial.of("a", "b")
+        assert mono.rename({"a": "x", "b": "x"}) == Monomial({"x": 2})
+
+    def test_rename_keeps_unmapped(self):
+        assert Monomial.of("a", "b").rename({"a": "x"}) == Monomial.of("x", "b")
+
+    def test_divides(self):
+        assert Monomial.of("a").divides(Monomial.of("a", "b"))
+        assert not Monomial({"a": 2}).divides(Monomial.of("a", "b"))
+
+    def test_ordering_is_deterministic(self):
+        assert sorted([Monomial.of("b"), Monomial.of("a")])[0] == Monomial.of("a")
+
+    def test_hashable_as_dict_key(self):
+        d = {Monomial.of("a"): 1}
+        assert d[Monomial.of("a")] == 1
+
+    def test_repr_shows_exponents(self):
+        assert repr(Monomial({"a": 2, "b": 1})) == "a^2*b"
+
+    @given(monomials, monomials)
+    def test_multiplication_commutes(self, m1, m2):
+        assert m1 * m2 == m2 * m1
+
+    @given(monomials, monomials, monomials)
+    def test_multiplication_associates(self, m1, m2, m3):
+        assert (m1 * m2) * m3 == m1 * (m2 * m3)
+
+    @given(monomials)
+    def test_expand_round_trips(self, mono):
+        assert Monomial(mono.expand()) == mono
+
+
+# -- Polynomial ----------------------------------------------------------------
+
+class TestPolynomial:
+    def test_zero_is_empty(self):
+        assert Polynomial.zero().is_zero()
+        assert repr(Polynomial.zero()) == "0"
+
+    def test_variable_constructor(self):
+        poly = Polynomial.variable("a")
+        assert poly.coefficient(Monomial.of("a")) == 1
+
+    def test_from_monomials_accumulates(self):
+        poly = Polynomial.from_monomials([Monomial.of("a"), Monomial.of("a")])
+        assert poly.coefficient(Monomial.of("a")) == 2
+
+    def test_addition_accumulates_coefficients(self):
+        poly = Polynomial.variable("a") + Polynomial.variable("a")
+        assert poly.coefficient(Monomial.of("a")) == 2
+
+    def test_addition_with_monomial_and_string(self):
+        poly = Polynomial.variable("a") + Monomial.of("b")
+        assert poly.coefficient(Monomial.of("b")) == 1
+
+    def test_multiplication_distributes(self):
+        a, b, c = (Polynomial.variable(x) for x in "abc")
+        assert a * (b + c) == a * b + a * c
+
+    def test_multiplication_produces_products(self):
+        poly = Polynomial.variable("a") * Polynomial.variable("b")
+        assert poly.coefficient(Monomial.of("a", "b")) == 1
+
+    def test_zero_annihilates(self):
+        poly = Polynomial.variable("a")
+        assert poly * Polynomial.zero() == Polynomial.zero()
+
+    def test_one_is_identity(self):
+        poly = Polynomial.variable("a") + Polynomial.variable("b")
+        assert poly * Polynomial.one() == poly
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial({Monomial.of("a"): -1})
+
+    def test_natural_order_coefficientwise(self):
+        small = Polynomial.variable("a")
+        large = Polynomial.variable("a") + Polynomial.variable("a")
+        assert small <= large
+        assert not (large <= small)
+
+    def test_natural_order_requires_all_monomials(self):
+        p = Polynomial.variable("a")
+        q = Polynomial.variable("b")
+        assert not (p <= q)
+
+    def test_variables_union(self):
+        poly = Polynomial.variable("a") * Polynomial.variable("b") + Polynomial.variable("c")
+        assert poly.variables() == frozenset({"a", "b", "c"})
+
+    def test_rename_merges_monomials(self):
+        poly = Polynomial.variable("a") + Polynomial.variable("b")
+        renamed = poly.rename({"a": "x", "b": "x"})
+        assert renamed.coefficient(Monomial.of("x")) == 2
+
+    def test_int_addition(self):
+        poly = Polynomial.variable("a") + 0
+        assert poly == Polynomial.variable("a")
+
+    def test_repr_is_readable(self):
+        poly = Polynomial.variable("a") + Polynomial.variable("a")
+        assert repr(poly) == "2*a"
+
+    @given(polynomials, polynomials)
+    def test_addition_commutes(self, p, q):
+        assert p + q == q + p
+
+    @given(polynomials, polynomials, polynomials)
+    def test_addition_associates(self, p, q, r):
+        assert (p + q) + r == p + (q + r)
+
+    @given(polynomials, polynomials)
+    def test_multiplication_commutes(self, p, q):
+        assert p * q == q * p
+
+    @settings(max_examples=50)
+    @given(polynomials, polynomials, polynomials)
+    def test_multiplication_associates(self, p, q, r):
+        assert (p * q) * r == p * (q * r)
+
+    @settings(max_examples=50)
+    @given(polynomials, polynomials, polynomials)
+    def test_distributivity(self, p, q, r):
+        assert p * (q + r) == p * q + p * r
+
+    @given(polynomials)
+    def test_natural_order_reflexive(self, p):
+        assert p <= p
+
+    @given(polynomials, polynomials)
+    def test_natural_order_of_sum(self, p, q):
+        assert p <= p + q

@@ -1,0 +1,206 @@
+"""Tests for the coarser semirings and the coarsening homomorphisms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SemiringError
+from repro.semirings.base import SemiringName, coarsen, get_semiring
+from repro.semirings.polynomial import Monomial, Polynomial
+from repro.semirings.variants import BPolynomial, Lineage, PosBool, Trio, Why
+
+variables = st.sampled_from(["a", "b", "c", "d"])
+monomials = st.dictionaries(
+    variables, st.integers(min_value=1, max_value=3), max_size=3
+).map(Monomial)
+polynomials = st.lists(
+    st.tuples(monomials, st.integers(min_value=1, max_value=2)),
+    max_size=3,
+).map(lambda pairs: Polynomial({m: c for m, c in pairs}))
+
+
+def _poly(*monos: Monomial) -> Polynomial:
+    return Polynomial.from_monomials(monos)
+
+
+class TestBPolynomial:
+    def test_drops_coefficients_keeps_exponents(self):
+        poly = Polynomial({Monomial({"a": 2}): 5})
+        b = BPolynomial.from_polynomial(poly)
+        assert b.monomials == frozenset({Monomial({"a": 2})})
+
+    def test_addition_is_union(self):
+        x = BPolynomial((Monomial.of("a"),))
+        y = BPolynomial((Monomial.of("b"),))
+        assert (x + y).monomials == frozenset({Monomial.of("a"), Monomial.of("b")})
+
+    def test_idempotent_addition(self):
+        x = BPolynomial((Monomial.of("a"),))
+        assert x + x == x
+
+    def test_multiplication_cross_products(self):
+        x = BPolynomial((Monomial.of("a"),))
+        y = BPolynomial((Monomial.of("b"), Monomial.of("c")))
+        assert (x * y).monomials == frozenset(
+            {Monomial.of("a", "b"), Monomial.of("a", "c")}
+        )
+
+    def test_natural_order_is_inclusion(self):
+        small = BPolynomial((Monomial.of("a"),))
+        large = BPolynomial((Monomial.of("a"), Monomial.of("b")))
+        assert small <= large
+        assert not (large <= small)
+
+
+class TestTrio:
+    def test_drops_exponents_keeps_coefficients(self):
+        poly = Polynomial({Monomial({"a": 2, "b": 1}): 3})
+        trio = Trio.from_polynomial(poly)
+        assert trio.terms == ((frozenset({"a", "b"}), 3),)
+
+    def test_merges_monomials_with_same_support(self):
+        poly = _poly(Monomial({"a": 2}), Monomial({"a": 1}))
+        trio = Trio.from_polynomial(poly)
+        assert trio.terms == ((frozenset({"a"}), 2),)
+
+    def test_addition_adds_coefficients(self):
+        t = Trio({frozenset({"a"}): 1})
+        assert (t + t).terms == ((frozenset({"a"}), 2),)
+
+    def test_multiplication_unions_witnesses(self):
+        t1 = Trio({frozenset({"a"}): 2})
+        t2 = Trio({frozenset({"b"}): 3})
+        assert (t1 * t2).terms == ((frozenset({"a", "b"}), 6),)
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            Trio({frozenset({"a"}): -1})
+
+    def test_natural_order(self):
+        small = Trio({frozenset({"a"}): 1})
+        large = Trio({frozenset({"a"}): 2, frozenset({"b"}): 1})
+        assert small <= large
+
+
+class TestWhy:
+    def test_drops_everything_but_witnesses(self):
+        poly = Polynomial({Monomial({"a": 2, "b": 1}): 7})
+        why = Why.from_polynomial(poly)
+        assert why.witnesses == frozenset({frozenset({"a", "b"})})
+
+    def test_keeps_subsumed_witnesses(self):
+        poly = _poly(Monomial.of("a"), Monomial.of("a", "b"))
+        why = Why.from_polynomial(poly)
+        assert len(why.witnesses) == 2
+
+    def test_addition_unions(self):
+        w1 = Why((frozenset({"a"}),))
+        w2 = Why((frozenset({"b"}),))
+        assert len((w1 + w2).witnesses) == 2
+
+    def test_multiplication_pairwise_union(self):
+        w1 = Why((frozenset({"a"}), frozenset({"b"})))
+        w2 = Why((frozenset({"c"}),))
+        assert (w1 * w2).witnesses == frozenset(
+            {frozenset({"a", "c"}), frozenset({"b", "c"})}
+        )
+
+
+class TestPosBool:
+    def test_absorbs_subsumed_witnesses(self):
+        poly = _poly(Monomial.of("a"), Monomial.of("a", "b"))
+        pb = PosBool.from_polynomial(poly)
+        assert pb.witnesses == frozenset({frozenset({"a"})})
+
+    def test_incomparable_witnesses_kept(self):
+        pb = PosBool((frozenset({"a"}), frozenset({"b"})))
+        assert len(pb.witnesses) == 2
+
+    def test_multiplication_then_absorption(self):
+        pb1 = PosBool((frozenset({"a"}), frozenset({"b"})))
+        pb2 = PosBool((frozenset({"a"}),))
+        # (a + b) * a = a (absorption)
+        assert (pb1 * pb2).witnesses == frozenset({frozenset({"a"})})
+
+    def test_natural_order_by_implication(self):
+        smaller = PosBool((frozenset({"a", "b"}),))
+        larger = PosBool((frozenset({"a"}),))
+        assert smaller <= larger
+        assert not (larger <= smaller)
+
+
+class TestLineage:
+    def test_flattens_to_variable_set(self):
+        poly = _poly(Monomial.of("a", "b"), Monomial.of("c"))
+        lin = Lineage.from_polynomial(poly)
+        assert lin.variables_set == frozenset({"a", "b", "c"})
+
+    def test_zero_is_absorbing(self):
+        assert Lineage.zero() * Lineage(("a",)) == Lineage.zero()
+
+    def test_one_is_identity(self):
+        lin = Lineage(("a",))
+        assert Lineage.one() * lin == lin
+
+    def test_natural_order_is_containment(self):
+        assert Lineage(("a",)) <= Lineage(("a", "b"))
+        assert Lineage.zero() <= Lineage(("a",))
+
+    def test_zero_distinct_from_one(self):
+        assert Lineage.zero() != Lineage.one()
+
+
+class TestRegistryAndCoarsen:
+    def test_get_semiring_by_value_and_name(self):
+        assert get_semiring("Why(X)").name is SemiringName.WHY
+        assert get_semiring("why").name is SemiringName.WHY
+        assert get_semiring(SemiringName.NX).name is SemiringName.NX
+
+    def test_unknown_semiring_raises(self):
+        with pytest.raises(SemiringError):
+            get_semiring("Fancy(X)")
+
+    def test_coarsen_monomial(self):
+        why = coarsen(Monomial.of("a", "b"), "Why(X)")
+        assert why.witnesses == frozenset({frozenset({"a", "b"})})
+
+    def test_coarsen_rejects_foreign_values(self):
+        with pytest.raises(SemiringError):
+            coarsen(Why((frozenset({"a"}),)), "B[X]")  # type: ignore[arg-type]
+
+    def test_drops_exponents_flags(self):
+        assert not get_semiring("N[X]").drops_exponents()
+        assert not get_semiring("B[X]").drops_exponents()
+        assert get_semiring("Why(X)").drops_exponents()
+        assert get_semiring("Trio(X)").drops_exponents()
+        assert get_semiring("PosBool(X)").drops_exponents()
+
+    def test_drops_coefficients_flags(self):
+        assert not get_semiring("N[X]").drops_coefficients()
+        assert get_semiring("B[X]").drops_coefficients()
+
+    @pytest.mark.parametrize("name", list(SemiringName))
+    def test_identities(self, name):
+        ops = get_semiring(name)
+        value = ops.from_polynomial(Polynomial.variable("a"))
+        assert ops.add(value, ops.zero) == value
+        assert ops.mul(value, ops.one) == value
+        assert ops.mul(value, ops.zero) == ops.zero
+
+    @pytest.mark.parametrize("name", list(SemiringName))
+    @given(p=polynomials, q=polynomials)
+    def test_coarsening_is_a_homomorphism(self, name, p, q):
+        ops = get_semiring(name)
+        assert ops.from_polynomial(p + q) == ops.add(
+            ops.from_polynomial(p), ops.from_polynomial(q)
+        )
+        assert ops.from_polynomial(p * q) == ops.mul(
+            ops.from_polynomial(p), ops.from_polynomial(q)
+        )
+
+    @pytest.mark.parametrize("name", list(SemiringName))
+    @given(p=polynomials, q=polynomials)
+    def test_coarsening_preserves_natural_order(self, name, p, q):
+        # a <= a + b must survive coarsening (monotone homomorphism).
+        ops = get_semiring(name)
+        assert ops.leq(ops.from_polynomial(p), ops.from_polynomial(p + q))

@@ -1,0 +1,116 @@
+"""Tests for the simulated user study."""
+
+import pytest
+
+from repro.abstraction.function import AbstractionFunction
+from repro.core.privacy import PrivacyComputer
+from repro.datasets.queries import get_query
+from repro.datasets.trees import imdb_ontology_tree
+from repro.provenance.builder import build_kexample
+from repro.userstudy.simulator import (
+    HypotheticalQuestion,
+    generate_questions,
+    run_user_study,
+    simulate_query_inference,
+)
+from repro.examples_data import Q_REAL
+
+
+class TestGroundTruth:
+    def test_deleting_used_tuple_kills_row(self, paper_example):
+        question = HypotheticalQuestion(
+            description="delete h1",
+            predicate=lambda t: t.annotation == "h1",
+            row_index=0,
+        )
+        assert question.ground_truth(paper_example) is False
+
+    def test_deleting_unrelated_tuple_spares_row(self, paper_example):
+        question = HypotheticalQuestion(
+            description="delete h3",
+            predicate=lambda t: t.annotation == "h3",
+            row_index=0,
+        )
+        assert question.ground_truth(paper_example) is True
+
+
+class TestQueryInference:
+    def test_raw_provenance_identifies(self, paper_tree, paper_db, paper_example):
+        computer = PrivacyComputer(paper_tree, paper_db.registry)
+        identity = AbstractionFunction.identity(
+            paper_tree, paper_example
+        ).apply(paper_example)
+        assert simulate_query_inference(computer, identity, Q_REAL)
+
+    def test_abstraction_blocks_identification(
+        self, paper_tree, paper_db, paper_example
+    ):
+        computer = PrivacyComputer(paper_tree, paper_db.registry)
+        abstracted = AbstractionFunction.uniform(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        ).apply(paper_example)
+        assert not simulate_query_inference(computer, abstracted, Q_REAL)
+
+
+class TestQuestionGeneration:
+    def test_requested_count(self, paper_example, paper_db):
+        questions = generate_questions(paper_example, paper_db, n_questions=10)
+        assert len(questions) == 10
+
+    def test_mixes_hits_and_misses(self, paper_example, paper_db):
+        questions = generate_questions(
+            paper_example, paper_db, n_questions=10, seed=3
+        )
+        truths = {q.ground_truth(paper_example) for q in questions}
+        assert truths == {True, False}
+
+    def test_deterministic(self, paper_example, paper_db):
+        q1 = generate_questions(paper_example, paper_db, seed=5)
+        q2 = generate_questions(paper_example, paper_db, seed=5)
+        assert [q.description for q in q1] == [q.description for q in q2]
+
+
+class TestFullStudy:
+    def test_paper_shape_on_running_example(
+        self, paper_example, paper_tree, paper_db
+    ):
+        """Table 7's shape: A identifies, B does not; A >= B on accuracy."""
+        result = run_user_study(
+            paper_example, Q_REAL, paper_tree,
+            threshold=2, database=paper_db, seed=0,
+        )
+        assert result.group_a_identified == result.group_size
+        assert result.group_b_identified == 0
+        assert result.group_a_accuracy >= result.group_b_accuracy
+        assert result.group_a_accuracy > 0.85
+        assert result.group_b_accuracy > 0.5
+
+    def test_summary_renders(self, paper_example, paper_tree, paper_db):
+        result = run_user_study(
+            paper_example, Q_REAL, paper_tree,
+            threshold=2, database=paper_db, seed=1,
+        )
+        assert "identification" in result.summary()
+
+    def test_unreachable_threshold_raises(
+        self, paper_example, paper_tree, paper_db
+    ):
+        with pytest.raises(ValueError):
+            run_user_study(
+                paper_example, Q_REAL, paper_tree,
+                threshold=10**6, database=paper_db,
+            )
+
+    def test_imdb_q3_setting(self, imdb_db):
+        """The paper's study setting: IMDB-Q3, ontology tree, k=2."""
+        query = get_query("IMDB-Q3")
+        example = build_kexample(query, imdb_db, n_rows=2)
+        tree = imdb_ontology_tree(imdb_db)
+        questions = generate_questions(example, imdb_db, n_questions=10, seed=7)
+        result = run_user_study(
+            example, query, tree, threshold=3,
+            questions=questions, seed=7,
+        )
+        assert result.n_questions == 10
+        assert result.group_b_identified == 0
+        assert 0.0 <= result.group_b_accuracy <= 1.0
