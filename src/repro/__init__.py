@@ -24,12 +24,22 @@ from repro.abstraction import (
     tree_from_categories,
     tree_over_annotations,
 )
+from repro.batch import (
+    BatchJob,
+    BatchJobResult,
+    BatchOptimizer,
+    BatchResult,
+    BatchStats,
+    run_batch,
+)
 from repro.core import (
     ConsistencyConfig,
     ExplicitDistribution,
+    IncrementalEvaluator,
     LeafWeightDistribution,
     OptimalAbstractionResult,
     OptimizerConfig,
+    OptimizerStats,
     PrivacyComputer,
     PrivacyConfig,
     UniformDistribution,
@@ -97,12 +107,18 @@ __all__ = [
     "AggregateTerm",
     "AnnotationRegistry",
     "Atom",
+    "BatchJob",
+    "BatchJobResult",
+    "BatchOptimizer",
+    "BatchResult",
+    "BatchStats",
     "CQ",
     "ConcretizationEngine",
     "Constant",
     "ConsistencyConfig",
     "EvaluationError",
     "ExplicitDistribution",
+    "IncrementalEvaluator",
     "KDatabase",
     "KExample",
     "KExampleRow",
@@ -112,6 +128,7 @@ __all__ = [
     "OptimalAbstractionResult",
     "OptimizationError",
     "OptimizerConfig",
+    "OptimizerStats",
     "ParseError",
     "Polynomial",
     "PrivacyComputer",
@@ -148,6 +165,7 @@ __all__ = [
     "parse_cq",
     "parse_ucq",
     "refine_per_occurrence",
+    "run_batch",
     "render_kexample",
     "render_query",
     "render_result",

@@ -64,6 +64,24 @@ class AbstractionFunction:
         return cls(tree, example, {})
 
     @classmethod
+    def _from_validated(
+        cls,
+        tree: AbstractionTree,
+        assignment: dict[tuple[int, int], str],
+    ) -> "AbstractionFunction":
+        """Wrap an assignment known to be valid, skipping re-validation.
+
+        Internal fast path for the optimizer, which derives assignments
+        from precomputed ancestor chains; ``assignment`` must already
+        exclude identity entries and map each position to a proper tree
+        ancestor of its source annotation.
+        """
+        function = cls.__new__(cls)
+        function._tree = tree
+        function._assignment = assignment
+        return function
+
+    @classmethod
     def uniform(
         cls,
         tree: AbstractionTree,

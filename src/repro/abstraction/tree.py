@@ -56,6 +56,11 @@ class AbstractionTree:
         self._nodes: dict[str, TreeNode] = {root_label: self._root}
         self._frozen = False
         self._leaves: Optional[tuple[str, ...]] = None
+        # Memo tables, populated lazily once the tree is frozen; the
+        # optimizer hits ancestors()/leaves_under() once per candidate and
+        # the chains never change after freeze().
+        self._ancestor_cache: dict[str, tuple[str, ...]] = {}
+        self._leaves_under_cache: dict[str, tuple[str, ...]] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -139,6 +144,15 @@ class AbstractionTree:
 
     def leaves_under(self, label: str) -> Iterator[str]:
         """``L_T(v)``: the leaf labels below (or equal to) ``label``."""
+        if self._frozen:
+            cached = self._leaves_under_cache.get(label)
+            if cached is None:
+                cached = tuple(self._walk_leaves_under(label))
+                self._leaves_under_cache[label] = cached
+            return iter(cached)
+        return self._walk_leaves_under(label)
+
+    def _walk_leaves_under(self, label: str) -> Iterator[str]:
         stack = [self.node(label)]
         while stack:
             node = stack.pop()
@@ -153,6 +167,15 @@ class AbstractionTree:
         These are exactly the values an abstraction function may assign to
         an occurrence of ``label`` (Definition 3.1).
         """
+        if self._frozen:
+            cached = self._ancestor_cache.get(label)
+            if cached is None:
+                cached = self._walk_ancestors(label)
+                self._ancestor_cache[label] = cached
+            return cached
+        return self._walk_ancestors(label)
+
+    def _walk_ancestors(self, label: str) -> tuple[str, ...]:
         chain = []
         node: Optional[TreeNode] = self.node(label)
         while node is not None:

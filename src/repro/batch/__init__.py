@@ -1,0 +1,27 @@
+"""Batch-parallel optimal-abstraction search.
+
+Runs :func:`repro.core.optimizer.find_optimal_abstraction` over many
+(K-example, threshold) jobs at once — serially or on a process pool —
+with per-worker context caches and aggregate effort statistics.  See
+``docs/PERFORMANCE.md`` for the knobs and ``repro batch-optimize`` for
+the CLI front-end.
+"""
+
+from repro.batch.jobs import BatchJob, BatchJobResult
+from repro.batch.optimizer import (
+    BatchOptimizer,
+    BatchResult,
+    BatchStats,
+    run_batch,
+    run_job,
+)
+
+__all__ = [
+    "BatchJob",
+    "BatchJobResult",
+    "BatchOptimizer",
+    "BatchResult",
+    "BatchStats",
+    "run_batch",
+    "run_job",
+]

@@ -1,0 +1,74 @@
+"""Picklable job specifications for the batch optimizer.
+
+A :class:`BatchJob` names everything one ``find_optimal_abstraction`` run
+needs — the workload query, the K-example/tree shape, the privacy
+threshold, and an optional per-job :class:`OptimizerConfig` budget —
+without holding any live objects, so jobs cross process boundaries
+cheaply.  Workers rebuild the (database, example, tree) context from the
+spec and share it across the jobs they execute.
+
+A :class:`BatchJobResult` carries the outcome back the same way: scalars
+and the per-variable abstraction targets rather than live
+``AbstractionFunction`` objects (rebuild one with :meth:`BatchJobResult.function`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.optimizer import OptimizerConfig, OptimizerStats
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One optimal-abstraction search over a named experiment workload.
+
+    ``query_name`` is a workload name understood by
+    :func:`repro.experiments.runner.prepare_context` (e.g. ``"TPCH-Q3"``,
+    ``"IMDB-Q1"``).  ``n_rows``/``n_leaves``/``height`` override the
+    settings defaults, mirroring ``prepare_context``; ``config`` overrides
+    the per-job search budget (defaults to the settings' budgets).
+    ``tag`` is a caller-chosen label echoed in the result.
+    """
+
+    query_name: str
+    threshold: int
+    n_rows: Optional[int] = None
+    n_leaves: Optional[int] = None
+    height: Optional[int] = None
+    config: Optional[OptimizerConfig] = None
+    tag: str = ""
+
+    def context_key(self) -> tuple:
+        """The part of the spec that determines the (db, example, tree)."""
+        return (self.query_name, self.n_rows, self.n_leaves, self.height)
+
+
+@dataclass
+class BatchJobResult:
+    """The outcome of one batch job, in picklable scalar form."""
+
+    job: BatchJob
+    found: bool = False
+    loi: float = float("inf")
+    privacy: int = -1
+    edges_used: int = 0
+    seconds: float = 0.0
+    stats: OptimizerStats = field(default_factory=OptimizerStats)
+    # The optimal abstraction as {variable: target label} (uniform per
+    # variable, as Algorithm 2 produces); empty when not found.
+    variable_targets: dict[str, str] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def function(self, tree, example):
+        """Rebuild the optimal :class:`AbstractionFunction` in-process."""
+        from repro.abstraction.function import AbstractionFunction
+
+        if not self.found:
+            return None
+        return AbstractionFunction.uniform(tree, example, self.variable_targets)

@@ -1,0 +1,187 @@
+"""Running many optimal-abstraction searches in parallel.
+
+:class:`BatchOptimizer` executes a list of :class:`BatchJob` specs with a
+``concurrent.futures`` process pool (or serially, in-process, for
+``max_workers=1``), aggregates the per-job effort counters into
+:class:`BatchStats`, and returns results in job order.
+
+Each worker process keeps a context cache keyed by the job's
+``(query_name, n_rows, n_leaves, height)``: the generated database, the
+K-example, and the frozen abstraction tree — whose memoized ancestor
+chains and leaf counts are exactly the tree-level caches the incremental
+evaluator hits — are built once per worker and shared by every job the
+worker executes.  Jobs for the same workload therefore pay the data
+generation cost once, as the sequential sweep harness always did.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Optional, Sequence
+
+from repro.batch.jobs import BatchJob, BatchJobResult
+from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
+from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+
+
+@dataclass
+class BatchStats:
+    """Aggregate effort across one batch run."""
+
+    jobs_total: int = 0
+    jobs_found: int = 0
+    jobs_failed: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+    job_seconds: float = 0.0  # sum of per-job search times
+    candidates_scanned: int = 0
+    privacy_computations: int = 0
+    privacy_budget_exhausted: int = 0
+    delta_evaluations: int = 0
+    full_evaluations: int = 0
+    functions_materialized: int = 0
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Aggregate search seconds per wall second (1.0 = serial pace)."""
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.job_seconds / self.wall_seconds
+
+    def summary(self) -> str:
+        return (
+            f"{self.jobs_total} jobs ({self.jobs_found} found, "
+            f"{self.jobs_failed} failed) on {self.workers} worker"
+            f"{'s' if self.workers != 1 else ''}: "
+            f"{self.wall_seconds:.2f}s wall, {self.job_seconds:.2f}s of search "
+            f"({self.parallel_speedup:.1f}x), "
+            f"{self.candidates_scanned} candidates, "
+            f"{self.privacy_computations} privacy computations"
+        )
+
+
+@dataclass
+class BatchResult:
+    """Results in job order, plus the aggregate stats."""
+
+    results: list[BatchJobResult] = field(default_factory=list)
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    def by_tag(self) -> dict[str, BatchJobResult]:
+        return {r.job.tag: r for r in self.results if r.job.tag}
+
+
+@lru_cache(maxsize=32)
+def _cached_context(context_key: tuple, settings: ExperimentSettings):
+    """Process-local (db, example, tree) cache shared across a worker's jobs.
+
+    Keyed by :meth:`BatchJob.context_key` so the job spec stays the single
+    definition of what identifies a context.
+    """
+    from repro.experiments.runner import prepare_context
+
+    query_name, n_rows, n_leaves, height = context_key
+    return prepare_context(
+        query_name, settings, n_rows=n_rows, n_leaves=n_leaves, height=height
+    )
+
+
+def run_job(job: BatchJob, settings: ExperimentSettings) -> BatchJobResult:
+    """Execute one job; never raises (failures land in ``result.error``)."""
+    try:
+        context = _cached_context(job.context_key(), settings)
+        config = job.config or OptimizerConfig(
+            max_candidates=settings.max_candidates,
+            max_seconds=settings.max_seconds,
+        )
+        start = time.perf_counter()
+        result = find_optimal_abstraction(
+            context.example, context.tree, job.threshold, config=config
+        )
+        seconds = time.perf_counter() - start
+        targets: dict[str, str] = {}
+        if result.function is not None:
+            for (row_idx, occ_idx), target in result.function.assignment.items():
+                source = context.example.rows[row_idx].occurrences[occ_idx]
+                targets[source] = target
+        return BatchJobResult(
+            job=job,
+            found=result.found,
+            loi=result.loi,
+            privacy=result.privacy,
+            edges_used=result.edges_used,
+            seconds=seconds,
+            stats=result.stats,
+            variable_targets=targets,
+        )
+    except Exception as exc:  # noqa: BLE001 - report, don't kill the pool
+        return BatchJobResult(job=job, error=f"{type(exc).__name__}: {exc}")
+
+
+class BatchOptimizer:
+    """Runs ``find_optimal_abstraction`` over many jobs at once.
+
+    ``max_workers=1`` (the default via settings) runs serially in-process —
+    deterministic and cache-friendly for tests and small sweeps;
+    ``max_workers=None`` uses every core.  Workers are plain processes,
+    so per-job budgets (``max_candidates``/``max_seconds``) are the
+    isolation mechanism against runaway searches.
+    """
+
+    def __init__(
+        self,
+        settings: ExperimentSettings = DEFAULT_SETTINGS,
+        max_workers: Optional[int] = None,
+    ):
+        self._settings = settings
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        self._max_workers = max(1, max_workers)
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def run(self, jobs: Sequence[BatchJob]) -> BatchResult:
+        """Execute ``jobs`` and aggregate their stats; results in job order."""
+        jobs = list(jobs)
+        workers = min(self._max_workers, max(1, len(jobs)))
+        start = time.perf_counter()
+        if workers == 1:
+            results = [run_job(job, self._settings) for job in jobs]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(run_job, job, self._settings) for job in jobs
+                ]
+                results = [future.result() for future in futures]
+        wall = time.perf_counter() - start
+
+        stats = BatchStats(jobs_total=len(jobs), workers=workers, wall_seconds=wall)
+        for result in results:
+            if not result.ok:
+                stats.jobs_failed += 1
+                continue
+            if result.found:
+                stats.jobs_found += 1
+            stats.job_seconds += result.seconds
+            stats.candidates_scanned += result.stats.candidates_scanned
+            stats.privacy_computations += result.stats.privacy_computations
+            stats.privacy_budget_exhausted += result.stats.privacy_budget_exhausted
+            stats.delta_evaluations += result.stats.delta_evaluations
+            stats.full_evaluations += result.stats.full_evaluations
+            stats.functions_materialized += result.stats.functions_materialized
+        return BatchResult(results=results, stats=stats)
+
+
+def run_batch(
+    jobs: Sequence[BatchJob],
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    max_workers: Optional[int] = None,
+) -> BatchResult:
+    """Convenience wrapper: one-shot :class:`BatchOptimizer` run."""
+    return BatchOptimizer(settings, max_workers=max_workers).run(jobs)

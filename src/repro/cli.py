@@ -10,11 +10,13 @@ the abstraction tree as JSON, and the query as datalog text; then::
 
 Subcommands
 -----------
-``optimize``   find the optimal abstraction (Algorithm 2)
-``privacy``    compute the privacy of a K-example / abstraction (Algorithm 1)
-``attack``     list the CIM queries an adversary recovers
-``evaluate``   run a query with provenance tracking
-``show-tree``  pretty-print an abstraction tree
+``optimize``        find the optimal abstraction (Algorithm 2)
+``batch-optimize``  run many optimizer jobs in parallel over the
+                    experiment workloads (``repro.batch``)
+``privacy``         compute the privacy of a K-example / abstraction (Algorithm 1)
+``attack``          list the CIM queries an adversary recovers
+``evaluate``        run a query with provenance tracking
+``show-tree``       pretty-print an abstraction tree
 """
 
 from __future__ import annotations
@@ -92,6 +94,85 @@ def cmd_optimize(args) -> int:
     return 0 if result.found else 1
 
 
+def cmd_batch_optimize(args) -> int:
+    import dataclasses
+
+    from repro.batch import BatchJob, BatchOptimizer
+    from repro.experiments.settings import DEFAULT_SETTINGS, FAST_SETTINGS
+
+    settings = FAST_SETTINGS if args.profile == "fast" else DEFAULT_SETTINGS
+    overrides = {}
+    if args.max_candidates is not None:
+        overrides["max_candidates"] = args.max_candidates
+    if args.max_seconds is not None:
+        overrides["max_seconds"] = args.max_seconds
+    if overrides:
+        settings = dataclasses.replace(settings, **overrides)
+
+    if args.jobs:
+        with open(args.jobs) as handle:
+            specs = json.load(handle)
+        jobs = []
+        for index, spec in enumerate(specs):
+            if "query_name" not in spec or "threshold" not in spec:
+                print(f"error: job {index} in {args.jobs} needs "
+                      f"'query_name' and 'threshold'", file=sys.stderr)
+                return 2
+            jobs.append(BatchJob(
+                query_name=spec["query_name"],
+                threshold=int(spec["threshold"]),
+                n_rows=spec.get("n_rows", args.rows),
+                n_leaves=spec.get("n_leaves"),
+                height=spec.get("height"),
+                tag=spec.get("tag", ""),
+            ))
+    else:
+        jobs = [
+            BatchJob(name, threshold, n_rows=args.rows)
+            for name in args.queries
+            for threshold in args.thresholds
+        ]
+
+    workers = args.workers if args.workers > 0 else None
+    batch = BatchOptimizer(settings, max_workers=workers).run(jobs)
+
+    for result in batch.results:
+        job = result.job
+        label = job.tag or f"{job.query_name} k={job.threshold}"
+        if not result.ok:
+            print(f"{label}: FAILED ({result.error})")
+        elif result.found:
+            print(
+                f"{label}: privacy={result.privacy} loi={result.loi:.4f} "
+                f"edges={result.edges_used} in {result.seconds:.2f}s"
+            )
+        else:
+            print(f"{label}: no abstraction within budget "
+                  f"({result.seconds:.2f}s)")
+    print(batch.stats.summary())
+
+    if args.output:
+        payload = [
+            {
+                "query_name": r.job.query_name,
+                "threshold": r.job.threshold,
+                "tag": r.job.tag,
+                "found": r.found,
+                "privacy": r.privacy,
+                "loi": r.loi if r.found else None,
+                "edges_used": r.edges_used,
+                "seconds": r.seconds,
+                "variable_targets": r.variable_targets,
+                "error": r.error,
+            }
+            for r in batch.results
+        ]
+        with open(args.output, "w") as handle:
+            handle.write(dumps(payload))
+        print(f"(written to {args.output})")
+    return 0 if batch.stats.jobs_failed == 0 else 1
+
+
 def cmd_privacy(args) -> int:
     database = _load_database(args.database)
     tree = _load_tree(args.tree)
@@ -156,6 +237,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--max-seconds", type=float, default=None)
     p_opt.add_argument("--output", help="write the result JSON here")
     p_opt.set_defaults(func=cmd_optimize)
+
+    p_batch = sub.add_parser(
+        "batch-optimize",
+        help="run many optimizer jobs in parallel over the experiment workloads",
+    )
+    p_batch.add_argument(
+        "--queries", nargs="+", default=["TPCH-Q3", "TPCH-Q10", "IMDB-Q1"],
+        help="workload query names (see repro.datasets.queries)",
+    )
+    p_batch.add_argument(
+        "--thresholds", nargs="+", type=int, default=[2],
+        help="privacy thresholds; jobs are the queries x thresholds product",
+    )
+    p_batch.add_argument(
+        "--jobs", help="JSON file with a list of job specs "
+                       "(overrides --queries/--thresholds)",
+    )
+    p_batch.add_argument("--rows", type=int, default=None,
+                         help="K-example rows per job (with --jobs: the "
+                              "default for specs without n_rows)")
+    p_batch.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 = one per core, 1 = serial)",
+    )
+    p_batch.add_argument("--profile", choices=("fast", "default"),
+                         default="fast", help="experiment settings profile")
+    p_batch.add_argument("--max-candidates", type=int, default=None)
+    p_batch.add_argument("--max-seconds", type=float, default=None)
+    p_batch.add_argument("--output", help="write per-job results JSON here")
+    p_batch.set_defaults(func=cmd_batch_optimize)
 
     p_priv = sub.add_parser("privacy", help="privacy of a (possibly abstracted) K-example")
     _add_common(p_priv)

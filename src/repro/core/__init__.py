@@ -9,8 +9,10 @@ from repro.core.loi import (
 from repro.core.consistency import ConsistencyConfig, consistent_queries
 from repro.core.privacy import PrivacyComputer, PrivacyConfig
 from repro.core.optimizer import (
+    IncrementalEvaluator,
     OptimalAbstractionResult,
     OptimizerConfig,
+    OptimizerStats,
     find_optimal_abstraction,
 )
 from repro.core.brute_force import brute_force_optimal_abstraction
@@ -20,9 +22,11 @@ from repro.core.compression import compression_baseline
 __all__ = [
     "ConsistencyConfig",
     "ExplicitDistribution",
+    "IncrementalEvaluator",
     "LeafWeightDistribution",
     "OptimalAbstractionResult",
     "OptimizerConfig",
+    "OptimizerStats",
     "PrivacyComputer",
     "PrivacyConfig",
     "UniformDistribution",

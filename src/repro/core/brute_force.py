@@ -28,6 +28,7 @@ def brute_force_config(
         sort_abstractions=False,
         loi_first=False,
         prune_dominated=False,
+        incremental=False,
         max_candidates=max_candidates,
         privacy=PrivacyConfig(
             row_by_row=False,

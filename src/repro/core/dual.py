@@ -24,6 +24,7 @@ from repro.core.optimizer import (
     _function_for_levels,
     _occurrence_counts,
     _SortedFrontier,
+    search_space,
 )
 from repro.core.privacy import PrivacyComputer
 from repro.errors import OptimizationError
@@ -48,11 +49,7 @@ def find_dual_optimal_abstraction(
     dist = distribution or UniformDistribution()
     prune = config.prune_dominated and isinstance(dist, UniformDistribution)
 
-    variables = sorted(
-        v for v in example.variables()
-        if v in tree.labels() and tree.is_leaf(v)
-    )
-    chains = {v: tree.ancestors(v) for v in variables}
+    variables, chains = search_space(example, tree)
     occurrence_count = _occurrence_counts(example, variables)
 
     stats = OptimizerStats()

@@ -27,6 +27,15 @@ from repro.provenance.kexample import AbstractedKExample
 class UniformDistribution:
     """Discrete uniform distribution over the concretization set."""
 
+    #: LOI is a sum of independent per-occurrence terms (Proposition 3.5),
+    #: so the optimizer may evaluate candidates from cached per-label
+    #: contributions instead of recomputing over the whole example.
+    supports_incremental = True
+
+    def label_contribution(self, label: str, tree: AbstractionTree) -> float:
+        """The LOI contribution of one occurrence abstracted to ``label``."""
+        return math.log(tree.leaf_count(label))
+
     def loi(
         self, abstracted: AbstractedKExample, tree: AbstractionTree
     ) -> float:
@@ -50,6 +59,11 @@ class LeafWeightDistribution:
     entropies because the choices are independent.
     """
 
+    #: Independence makes the entropy additive per occurrence, so the
+    #: incremental evaluator applies (contributions depend only on the
+    #: target label).
+    supports_incremental = True
+
     def __init__(self, weights: Mapping[str, float]):
         self._weights = dict(weights)
         for leaf, weight in self._weights.items():
@@ -58,6 +72,13 @@ class LeafWeightDistribution:
                     f"leaf weight must be positive: {leaf!r} -> {weight}"
                 )
 
+    def label_contribution(self, label: str, tree: AbstractionTree) -> float:
+        """The entropy contribution of one occurrence abstracted to ``label``."""
+        weights = [
+            self._weights.get(leaf, 1.0) for leaf in tree.leaves_under(label)
+        ]
+        return _entropy_of_weights(weights)
+
     def loi(
         self, abstracted: AbstractedKExample, tree: AbstractionTree
     ) -> float:
@@ -65,11 +86,7 @@ class LeafWeightDistribution:
         for row in abstracted.rows:
             for label in row.occurrences:
                 if label in tree and not tree.is_leaf(label):
-                    weights = [
-                        self._weights.get(leaf, 1.0)
-                        for leaf in tree.leaves_under(label)
-                    ]
-                    total += _entropy_of_weights(weights)
+                    total += self.label_contribution(label, tree)
         return total
 
     def __repr__(self) -> str:

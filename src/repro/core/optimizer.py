@@ -17,6 +17,15 @@ Additionally, for monotone distributions (uniform), successors of a
 candidate whose LOI already reached the incumbent are pruned: abstracting
 any variable higher can only raise LOI further, so the entire upward cone
 is dominated.
+
+Candidate evaluation is *incremental* by default (:class:`IncrementalEvaluator`):
+for the additive distributions (Proposition 3.5) a candidate's LOI is a sum
+of per-occurrence contributions depending only on the target label, so the
+search scores candidates from cached per-(variable, level) contributions
+and only materializes the abstracted K-example for candidates whose LOI
+beats the incumbent — the only ones whose privacy is computed.  Disable
+with ``OptimizerConfig(incremental=False)`` to recover the from-scratch
+evaluation; both paths produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -33,7 +42,7 @@ from repro.abstraction.tree import AbstractionTree
 from repro.core.loi import UniformDistribution, loss_of_information
 from repro.core.privacy import PrivacyComputer, PrivacyConfig
 from repro.errors import OptimizationError
-from repro.provenance.kexample import AbstractedKExample, KExample
+from repro.provenance.kexample import AbstractedKExample, KExample, KExampleRow
 
 
 @dataclass(frozen=True)
@@ -43,6 +52,11 @@ class OptimizerConfig:
     sort_abstractions: bool = True
     loi_first: bool = True
     prune_dominated: bool = True
+    # Evaluate candidates from cached per-(variable, level) LOI
+    # contributions instead of re-applying the abstraction to every row;
+    # only takes effect for distributions with additive LOI (uniform and
+    # leaf-weight), and produces bit-identical results either way.
+    incremental: bool = True
     max_candidates: Optional[int] = None
     # Wall-clock budget for one search; the best abstraction found so far
     # is returned when it runs out (None = unbounded, as in the paper).
@@ -58,6 +72,13 @@ class OptimizerStats:
     privacy_computations: int = 0
     privacy_budget_exhausted: int = 0
     elapsed_seconds: float = 0.0
+    # Incremental-evaluation counters (zero when incremental=False or the
+    # distribution is not additive).
+    delta_evaluations: int = 0            # candidates scored from cached deltas
+    full_evaluations: int = 0             # candidates scored from scratch
+    functions_materialized: int = 0       # lazily built abstracted examples
+    contribution_cache_hits: int = 0      # per-(variable, level) cache reuses
+    contribution_cache_misses: int = 0    # per-(variable, level) cache fills
 
 
 @dataclass
@@ -78,6 +99,130 @@ class OptimalAbstractionResult:
     @property
     def found(self) -> bool:
         return self.function is not None
+
+
+def search_space(
+    example: KExample, tree: AbstractionTree
+) -> tuple[list[str], dict[str, tuple[str, ...]]]:
+    """Algorithm 2's search axes: abstractable variables + ancestor chains.
+
+    A variable is abstractable iff it is a leaf of the tree; its chain
+    lists the abstraction targets (itself first, root last).  Shared by
+    the primal and dual searches, the equivalence tests, and the
+    benchmarks so the candidate space has one definition.
+    """
+    variables = sorted(
+        v for v in example.variables()
+        if v in tree.labels() and tree.is_leaf(v)
+    )
+    chains = {v: tree.ancestors(v) for v in variables}
+    return variables, chains
+
+
+class IncrementalEvaluator:
+    """Delta-based candidate evaluation over a shared base example.
+
+    The frontier moves one variable one ancestor level at a time, yet a
+    from-scratch evaluation rebuilds an :class:`AbstractionFunction`,
+    re-applies it to every row, and recomputes LOI over the whole
+    abstracted example for every pop.  For distributions whose LOI is
+    additive per occurrence (Proposition 3.5: uniform and leaf-weight),
+    a candidate's LOI depends only on which (variable, level) pairs it
+    selects, so this evaluator
+
+    * caches each (variable, level) contribution the first time the level
+      is seen and reuses it for every later candidate touching it,
+    * scores candidates without materializing the abstracted example, and
+    * materializes the function/abstracted pair lazily — as a positional
+      delta over the shared base example — only when the caller actually
+      needs it (i.e. when the candidate's privacy must be computed).
+
+    Float addition is order-sensitive, so :meth:`loi` replays the cached
+    contributions in exactly the order the full recomputation would visit
+    them (row by row; within a row, in the sorted occurrence order of the
+    abstracted row).  Results are therefore bit-identical to
+    :func:`repro.core.loi.loss_of_information` on the materialized example.
+    """
+
+    def __init__(self, example, tree, variables, chains, distribution):
+        self._example = example
+        self._tree = tree
+        self._variables = tuple(variables)
+        self._chains = chains
+        self._distribution = distribution
+        var_index = {v: i for i, v in enumerate(self._variables)}
+        # Per row: each occurrence's variable index (-1 = not abstractable),
+        # and the abstractable occurrences' indexes with multiplicity.
+        self._row_occ_vars: list[tuple[int, ...]] = []
+        self._row_var_entries: list[tuple[int, ...]] = []
+        for row in example.rows:
+            occ_vars = tuple(var_index.get(ann, -1) for ann in row.occurrences)
+            self._row_occ_vars.append(occ_vars)
+            self._row_var_entries.append(tuple(i for i in occ_vars if i >= 0))
+        self._contributions: dict[tuple[int, int], float] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def contribution(self, var_index: int, level: int) -> float:
+        """The per-occurrence LOI contribution of one (variable, level)."""
+        key = (var_index, level)
+        value = self._contributions.get(key)
+        if value is None:
+            var = self._variables[var_index]
+            target = self._chains[var][level]
+            value = self._distribution.label_contribution(target, self._tree)
+            self._contributions[key] = value
+            self.cache_misses += 1
+        else:
+            self.cache_hits += 1
+        return value
+
+    def loi(self, levels: tuple[int, ...]) -> float:
+        """The candidate's LOI, bit-identical to a full recomputation."""
+        total = 0.0
+        chains = self._chains
+        variables = self._variables
+        for entries in self._row_var_entries:
+            touched = []
+            for i in entries:
+                level = levels[i]
+                if level:
+                    touched.append((chains[variables[i]][level], i, level))
+            if not touched:
+                continue
+            # The abstracted row sorts its occurrences; equal labels have
+            # equal cached contributions, so sorting by label reproduces
+            # the full path's addition order exactly.
+            touched.sort()
+            for _, i, level in touched:
+                total += self.contribution(i, level)
+        return total
+
+    def materialize(
+        self, levels: tuple[int, ...]
+    ) -> tuple[AbstractionFunction, AbstractedKExample]:
+        """Build (function, abstracted) by patching the shared base rows."""
+        variables = self._variables
+        chains = self._chains
+        targets = [
+            chains[variables[i]][level] if level else None
+            for i, level in enumerate(levels)
+        ]
+        assignment: dict[tuple[int, int], str] = {}
+        rows = []
+        for row_idx, row in enumerate(self._example.rows):
+            occ_vars = self._row_occ_vars[row_idx]
+            values = list(row.occurrences)
+            for occ_idx, var_i in enumerate(occ_vars):
+                if var_i >= 0:
+                    target = targets[var_i]
+                    if target is not None:
+                        values[occ_idx] = target
+                        assignment[(row_idx, occ_idx)] = target
+            rows.append(KExampleRow(row.output, values))
+        function = AbstractionFunction._from_validated(self._tree, assignment)
+        abstracted = AbstractedKExample(rows, self._example, assignment)
+        return function, abstracted
 
 
 class _SortedFrontier:
@@ -157,11 +302,7 @@ def find_optimal_abstraction(
         and isinstance(dist, UniformDistribution)
     )
 
-    variables = sorted(
-        v for v in example.variables()
-        if v in tree.labels() and tree.is_leaf(v)
-    )
-    chains = {v: tree.ancestors(v) for v in variables}
+    variables, chains = search_space(example, tree)
     occurrence_count = _occurrence_counts(example, variables)
 
     stats = OptimizerStats()
@@ -178,6 +319,10 @@ def find_optimal_abstraction(
         frontier = _SortedFrontier(variables, chains, tree, occurrence_count)
     else:
         plain = _unsorted_candidates(variables, chains)
+
+    evaluator: Optional[IncrementalEvaluator] = None
+    if config.incremental and getattr(dist, "supports_incremental", False):
+        evaluator = IncrementalEvaluator(example, tree, variables, chains, dist)
 
     while True:
         if frontier is not None:
@@ -202,9 +347,19 @@ def find_optimal_abstraction(
         ):
             break
 
-        function = _function_for_levels(tree, example, variables, chains, levels)
-        abstracted = function.apply(example)
-        loi = loss_of_information(abstracted, tree, dist)
+        function: Optional[AbstractionFunction]
+        abstracted: Optional[AbstractedKExample]
+        if evaluator is not None:
+            # Incremental path: score from cached contributions; the
+            # function/abstracted pair is materialized only if needed.
+            loi = evaluator.loi(levels)
+            function = abstracted = None
+            stats.delta_evaluations += 1
+        else:
+            function = _function_for_levels(tree, example, variables, chains, levels)
+            abstracted = function.apply(example)
+            loi = loss_of_information(abstracted, tree, dist)
+            stats.full_evaluations += 1
 
         dominated = loi >= best_loi
         if config.loi_first and dominated:
@@ -214,6 +369,10 @@ def find_optimal_abstraction(
 
         if config.loi_first or not dominated:
             stats.privacy_computations += 1
+            if function is None:
+                assert evaluator is not None
+                function, abstracted = evaluator.materialize(levels)
+                stats.functions_materialized += 1
             try:
                 privacy = computer.compute(abstracted, threshold)
             except OptimizationError:
@@ -228,6 +387,10 @@ def find_optimal_abstraction(
         else:
             # loi_first disabled: pay for privacy even on dominated states.
             stats.privacy_computations += 1
+            if abstracted is None:
+                assert evaluator is not None
+                _, abstracted = evaluator.materialize(levels)
+                stats.functions_materialized += 1
             try:
                 computer.compute(abstracted, threshold)
             except OptimizationError:
@@ -237,6 +400,9 @@ def find_optimal_abstraction(
             frontier.expand(levels)
 
     stats.elapsed_seconds = time.perf_counter() - start_time
+    if evaluator is not None:
+        stats.contribution_cache_hits = evaluator.cache_hits
+        stats.contribution_cache_misses = evaluator.cache_misses
     edges = best.edges_used(example) if best is not None else 0
     return OptimalAbstractionResult(
         function=best,

@@ -13,6 +13,7 @@ import math
 import random
 from typing import Optional, Sequence
 
+from repro.batch import BatchJob
 from repro.core.brute_force import brute_force_config
 from repro.core.compression import compression_baseline
 from repro.core.dual import find_dual_optimal_abstraction
@@ -20,7 +21,7 @@ from repro.core.loi import LeafWeightDistribution
 from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
 from repro.core.privacy import PrivacyComputer, PrivacyConfig
 from repro.datasets.queries import join_variants, query_stats
-from repro.experiments.runner import prepare_context, timed_optimal
+from repro.experiments.runner import prepare_context, run_sweep, timed_optimal
 from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
 
 Series = dict[str, list[tuple[float, float]]]
@@ -43,16 +44,19 @@ def _threshold_sweep(
     key = ("threshold", settings, queries)
     if key in _SWEEP_CACHE:
         return _SWEEP_CACHE[key]
-    out: dict[str, list[tuple[int, float, int, float]]] = {}
-    for name in queries:
-        context = prepare_context(name, settings)
-        points = []
-        for k in settings.thresholds:
-            result, seconds = timed_optimal(context, k)
-            loi = result.loi if result.found else math.nan
-            edges = result.edges_used if result.found else -1
-            points.append((k, seconds, edges, loi))
-        out[name] = points
+    jobs = [
+        BatchJob(name, k)
+        for name in queries
+        for k in settings.thresholds
+    ]
+    batch = run_sweep(jobs, settings)
+    out: dict[str, list[tuple[int, float, int, float]]] = {n: [] for n in queries}
+    for result in batch.results:
+        loi = result.loi if result.found else math.nan
+        edges = result.edges_used if result.found else -1
+        out[result.job.query_name].append(
+            (result.job.threshold, result.seconds, edges, loi)
+        )
     _SWEEP_CACHE[key] = out
     return out
 
@@ -103,15 +107,18 @@ def _treesize_sweep(
     key = ("treesize", settings, queries)
     if key in _SWEEP_CACHE:
         return _SWEEP_CACHE[key]
-    out: dict[str, list[tuple[int, float, int]]] = {}
-    for name in queries:
-        points = []
-        for n_leaves in settings.tree_sizes:
-            context = prepare_context(name, settings, n_leaves=n_leaves)
-            result, seconds = timed_optimal(context, settings.privacy_threshold)
-            edges = result.edges_used if result.found else -1
-            points.append((n_leaves, seconds, edges))
-        out[name] = points
+    jobs = [
+        BatchJob(name, settings.privacy_threshold, n_leaves=n_leaves)
+        for name in queries
+        for n_leaves in settings.tree_sizes
+    ]
+    batch = run_sweep(jobs, settings)
+    out: dict[str, list[tuple[int, float, int]]] = {n: [] for n in queries}
+    for result in batch.results:
+        edges = result.edges_used if result.found else -1
+        out[result.job.query_name].append(
+            (result.job.n_leaves, result.seconds, edges)
+        )
     _SWEEP_CACHE[key] = out
     return out
 
@@ -150,15 +157,18 @@ def _height_sweep(
     key = ("height", settings, queries)
     if key in _SWEEP_CACHE:
         return _SWEEP_CACHE[key]
-    out: dict[str, list[tuple[int, float, int]]] = {}
-    for name in queries:
-        points = []
-        for height in settings.tree_heights:
-            context = prepare_context(name, settings, height=height)
-            result, seconds = timed_optimal(context, settings.privacy_threshold)
-            edges = result.edges_used if result.found else -1
-            points.append((height, seconds, edges))
-        out[name] = points
+    jobs = [
+        BatchJob(name, settings.privacy_threshold, height=height)
+        for name in queries
+        for height in settings.tree_heights
+    ]
+    batch = run_sweep(jobs, settings)
+    out: dict[str, list[tuple[int, float, int]]] = {n: [] for n in queries}
+    for result in batch.results:
+        edges = result.edges_used if result.found else -1
+        out[result.job.query_name].append(
+            (result.job.height, result.seconds, edges)
+        )
     _SWEEP_CACHE[key] = out
     return out
 

@@ -45,6 +45,10 @@ class ExperimentSettings:
     max_candidates: int = 30_000
     # Per-search wall-clock budget (None = unbounded).
     max_seconds: "float | None" = 60.0
+    # Worker processes for the sweep harness (1 = serial in-process;
+    # 0/negative = one per CPU core).  Sweeps fan out per-(query, point)
+    # jobs through repro.batch regardless; this only sets the pool size.
+    batch_workers: int = 1
 
 
 DEFAULT_SETTINGS = ExperimentSettings()

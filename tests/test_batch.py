@@ -1,0 +1,134 @@
+"""Tests for the batch optimizer (repro.batch)."""
+
+import pytest
+
+from repro.batch import BatchJob, BatchOptimizer, run_batch
+from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
+from repro.errors import OptimizationError
+from repro.experiments.runner import prepare_context, run_sweep
+from repro.experiments.settings import ExperimentSettings
+
+TINY = ExperimentSettings(
+    tree_leaves=40,
+    tpch_scale=0.015,
+    imdb_people=60,
+    imdb_movies=40,
+    max_candidates=300,
+    max_seconds=10.0,
+)
+
+
+class TestSerial:
+    def test_results_in_job_order(self):
+        jobs = [
+            BatchJob("TPCH-Q3", 2, tag="a"),
+            BatchJob("TPCH-Q3", 3, tag="b"),
+        ]
+        batch = run_batch(jobs, TINY, max_workers=1)
+        assert [r.job.tag for r in batch.results] == ["a", "b"]
+        assert batch.stats.jobs_total == 2
+        assert batch.stats.jobs_failed == 0
+        assert batch.stats.workers == 1
+        assert batch.stats.candidates_scanned > 0
+        assert batch.stats.job_seconds > 0
+        assert set(batch.by_tag()) == {"a", "b"}
+
+    def test_matches_direct_search(self):
+        batch = run_batch([BatchJob("TPCH-Q3", 2)], TINY, max_workers=1)
+        result = batch.results[0]
+        assert result.ok
+
+        context = prepare_context("TPCH-Q3", TINY)
+        direct = find_optimal_abstraction(
+            context.example, context.tree, 2,
+            config=OptimizerConfig(
+                max_candidates=TINY.max_candidates,
+                max_seconds=TINY.max_seconds,
+            ),
+        )
+        assert result.found == direct.found
+        assert result.loi == direct.loi
+        assert result.privacy == direct.privacy
+        assert result.edges_used == direct.edges_used
+
+    def test_function_reconstruction(self):
+        batch = run_batch([BatchJob("TPCH-Q3", 2)], TINY, max_workers=1)
+        result = batch.results[0]
+        assert result.found
+        context = prepare_context("TPCH-Q3", TINY)
+        function = result.function(context.tree, context.example)
+        direct = find_optimal_abstraction(
+            context.example, context.tree, 2,
+            config=OptimizerConfig(
+                max_candidates=TINY.max_candidates,
+                max_seconds=TINY.max_seconds,
+            ),
+        )
+        assert function.assignment == direct.function.assignment
+
+    def test_per_job_config_override(self):
+        job = BatchJob("TPCH-Q3", 2, config=OptimizerConfig(max_candidates=1))
+        batch = run_batch([job], TINY, max_workers=1)
+        result = batch.results[0]
+        assert result.ok
+        assert result.stats.candidates_scanned <= 2
+
+    def test_run_sweep_raises_on_failed_job(self):
+        """The figure sweeps must not plot errored jobs as data points."""
+        with pytest.raises(OptimizationError, match="NO-SUCH-QUERY"):
+            run_sweep([BatchJob("NO-SUCH-QUERY", 2)], TINY)
+
+    def test_failed_job_reported_not_raised(self):
+        jobs = [BatchJob("NO-SUCH-QUERY", 2), BatchJob("TPCH-Q3", 2)]
+        batch = run_batch(jobs, TINY, max_workers=1)
+        failed, ok = batch.results
+        assert not failed.ok
+        assert "NO-SUCH-QUERY" in failed.error
+        assert not failed.found
+        assert ok.ok
+        assert batch.stats.jobs_failed == 1
+        assert batch.stats.jobs_total == 2
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self):
+        jobs = [BatchJob("TPCH-Q3", 2), BatchJob("TPCH-Q3", 3)]
+        serial = run_batch(jobs, TINY, max_workers=1)
+        parallel = run_batch(jobs, TINY, max_workers=2)
+        assert parallel.stats.workers == 2
+        assert parallel.stats.jobs_failed == 0
+        for s, p in zip(serial.results, parallel.results):
+            assert (s.found, s.loi, s.privacy, s.edges_used) == (
+                p.found, p.loi, p.privacy, p.edges_used
+            )
+            assert s.variable_targets == p.variable_targets
+
+    def test_pool_capped_by_job_count(self):
+        optimizer = BatchOptimizer(TINY, max_workers=8)
+        batch = optimizer.run([BatchJob("TPCH-Q3", 2)])
+        assert batch.stats.workers == 1  # no pool spawned for one job
+
+
+class TestStats:
+    def test_aggregation_sums_job_stats(self):
+        jobs = [BatchJob("TPCH-Q3", 2), BatchJob("TPCH-Q3", 3)]
+        batch = run_batch(jobs, TINY, max_workers=1)
+        assert batch.stats.candidates_scanned == sum(
+            r.stats.candidates_scanned for r in batch.results
+        )
+        assert batch.stats.privacy_computations == sum(
+            r.stats.privacy_computations for r in batch.results
+        )
+        assert batch.stats.delta_evaluations == sum(
+            r.stats.delta_evaluations for r in batch.results
+        )
+        assert batch.stats.jobs_found == sum(
+            1 for r in batch.results if r.found
+        )
+
+    def test_summary_mentions_jobs_and_workers(self):
+        batch = run_batch([BatchJob("TPCH-Q3", 2)], TINY, max_workers=1)
+        text = batch.stats.summary()
+        assert "1 jobs" in text
+        assert "1 worker" in text
+        assert batch.stats.parallel_speedup > 0

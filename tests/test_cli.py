@@ -64,6 +64,52 @@ class TestOptimize:
         assert code == 1
 
 
+class TestBatchOptimize:
+    def test_cross_product_of_queries_and_thresholds(self, tmp_path, capsys):
+        code = main([
+            "batch-optimize",
+            "--queries", "TPCH-Q3",
+            "--thresholds", "2", "3",
+            "--workers", "1",
+            "--max-candidates", "200",
+            "--max-seconds", "10",
+            "--output", str(tmp_path / "batch.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TPCH-Q3 k=2" in out
+        assert "TPCH-Q3 k=3" in out
+        assert "2 jobs" in out
+        results = json.loads((tmp_path / "batch.json").read_text())
+        assert len(results) == 2
+        assert {r["threshold"] for r in results} == {2, 3}
+        assert all(r["error"] is None for r in results)
+
+    def test_jobs_file(self, tmp_path, capsys):
+        (tmp_path / "jobs.json").write_text(json.dumps([
+            {"query_name": "TPCH-Q3", "threshold": 2, "tag": "t1"},
+        ]))
+        code = main([
+            "batch-optimize",
+            "--jobs", str(tmp_path / "jobs.json"),
+            "--workers", "1",
+            "--max-candidates", "200",
+            "--max-seconds", "10",
+        ])
+        assert code == 0
+        assert "t1:" in capsys.readouterr().out
+
+    def test_failed_job_sets_exit_code(self, capsys):
+        code = main([
+            "batch-optimize",
+            "--queries", "NO-SUCH-QUERY",
+            "--thresholds", "2",
+            "--workers", "1",
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
 class TestOtherCommands:
     def test_privacy_identity(self, workspace, capsys):
         code = main([

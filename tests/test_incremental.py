@@ -1,0 +1,207 @@
+"""Incremental candidate evaluation: equivalence with full recomputation.
+
+The incremental evaluator must be *bit-identical* to the from-scratch
+path — same floats, not merely close — because the optimizer's LOI gate
+compares candidates against the incumbent and an ulp of drift could flip
+which candidate wins.  These tests check that across random trees and
+K-examples, for both additive distributions, per candidate and end to end.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.abstraction.builders import balanced_tree, tree_from_categories
+from repro.core.loi import (
+    ExplicitDistribution,
+    LeafWeightDistribution,
+    UniformDistribution,
+    loss_of_information,
+)
+from repro.core.optimizer import (
+    IncrementalEvaluator,
+    OptimizerConfig,
+    _function_for_levels,
+    _occurrence_counts,
+    _SortedFrontier,
+    find_optimal_abstraction,
+    search_space,
+)
+from repro.db.database import KDatabase
+from repro.db.schema import Schema
+from repro.provenance.kexample import KExample, KExampleRow
+
+
+def _random_instance(seed: int):
+    """A random database, K-example, and abstraction tree."""
+    rng = random.Random(seed)
+    db = KDatabase(Schema.from_dict({"R": ["a", "b"], "S": ["b", "c"]}))
+    n_r, n_s = rng.randint(3, 6), rng.randint(3, 6)
+    for i in range(n_r):
+        db.insert("R", (i, rng.randint(0, 3)), f"r{i}")
+    for j in range(n_s):
+        db.insert("S", (rng.randint(0, 3), j), f"s{j}")
+    annotations = [f"r{i}" for i in range(n_r)] + [f"s{j}" for j in range(n_s)]
+
+    rows = []
+    for _ in range(rng.randint(2, 3)):
+        k = rng.randint(2, 4)
+        rows.append(KExampleRow((rng.randint(0, 9),), rng.sample(annotations, k)))
+    example = KExample(rows, db.registry)
+
+    tree = balanced_tree(annotations, height=rng.randint(2, 4), seed=seed)
+    return db, example, tree
+
+
+def _search_inputs(example, tree):
+    return search_space(example, tree)
+
+
+def _candidate_sample(example, tree, variables, chains, rng, limit=80):
+    """Sorted-order candidates plus random level vectors."""
+    frontier = _SortedFrontier(
+        variables, chains, tree, _occurrence_counts(example, variables)
+    )
+    candidates = []
+    while len(candidates) < limit:
+        levels = frontier.pop()
+        if levels is None:
+            break
+        candidates.append(levels)
+        frontier.expand(levels)
+    for _ in range(20):
+        candidates.append(tuple(
+            rng.randrange(len(chains[v])) for v in variables
+        ))
+    return candidates
+
+
+class TestPerCandidateEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_uniform_bit_identical(self, seed):
+        _, example, tree = _random_instance(seed)
+        variables, chains = _search_inputs(example, tree)
+        rng = random.Random(seed + 1000)
+        dist = UniformDistribution()
+        evaluator = IncrementalEvaluator(example, tree, variables, chains, dist)
+        for levels in _candidate_sample(example, tree, variables, chains, rng):
+            function = _function_for_levels(tree, example, variables, chains, levels)
+            full = loss_of_information(function.apply(example), tree, dist)
+            assert evaluator.loi(levels) == full  # bitwise, not isclose
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_leaf_weight_bit_identical(self, seed):
+        _, example, tree = _random_instance(seed)
+        variables, chains = _search_inputs(example, tree)
+        rng = random.Random(seed + 2000)
+        weights = {leaf: rng.uniform(0.25, 4.0) for leaf in tree.leaves()}
+        dist = LeafWeightDistribution(weights)
+        evaluator = IncrementalEvaluator(example, tree, variables, chains, dist)
+        for levels in _candidate_sample(example, tree, variables, chains, rng):
+            function = _function_for_levels(tree, example, variables, chains, levels)
+            full = loss_of_information(function.apply(example), tree, dist)
+            assert evaluator.loi(levels) == full
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_materialize_matches_apply(self, seed):
+        _, example, tree = _random_instance(seed)
+        variables, chains = _search_inputs(example, tree)
+        rng = random.Random(seed + 3000)
+        evaluator = IncrementalEvaluator(
+            example, tree, variables, chains, UniformDistribution()
+        )
+        for levels in _candidate_sample(example, tree, variables, chains, rng, 40):
+            reference = _function_for_levels(tree, example, variables, chains, levels)
+            function, abstracted = evaluator.materialize(levels)
+            assert function.assignment == reference.assignment
+            assert abstracted.rows == reference.apply(example).rows
+            assert abstracted.mapping == reference.apply(example).mapping
+            assert function.edges_used(example) == reference.edges_used(example)
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_search_results_identical(self, seed):
+        _, example, tree = _random_instance(seed)
+        budget = dict(max_candidates=300)
+        incremental = find_optimal_abstraction(
+            example, tree, threshold=2, config=OptimizerConfig(**budget)
+        )
+        full = find_optimal_abstraction(
+            example, tree, threshold=2,
+            config=OptimizerConfig(incremental=False, **budget),
+        )
+        assert incremental.found == full.found
+        assert incremental.loi == full.loi
+        assert incremental.privacy == full.privacy
+        assert incremental.edges_used == full.edges_used
+        assert incremental.stats.candidates_scanned == full.stats.candidates_scanned
+        assert incremental.stats.privacy_computations == full.stats.privacy_computations
+        if incremental.found:
+            assert incremental.function.assignment == full.function.assignment
+            assert incremental.abstracted.rows == full.abstracted.rows
+
+    def test_paper_example_identical(self, paper_example, paper_tree):
+        incremental = find_optimal_abstraction(paper_example, paper_tree, 2)
+        full = find_optimal_abstraction(
+            paper_example, paper_tree, 2,
+            config=OptimizerConfig(incremental=False),
+        )
+        assert incremental.loi == full.loi == pytest.approx(math.log(15))
+        assert incremental.function.assignment == full.function.assignment
+
+
+class TestEvaluatorBookkeeping:
+    def test_stats_counters(self, paper_example, paper_tree):
+        result = find_optimal_abstraction(paper_example, paper_tree, 2)
+        stats = result.stats
+        assert stats.delta_evaluations == stats.candidates_scanned
+        assert stats.full_evaluations == 0
+        # Lazy materialization: only gate-passing candidates are built.
+        assert stats.functions_materialized == stats.privacy_computations
+        assert stats.functions_materialized < stats.candidates_scanned
+        assert stats.contribution_cache_misses > 0
+        assert stats.contribution_cache_hits > stats.contribution_cache_misses
+
+    def test_disabled_uses_full_path(self, paper_example, paper_tree):
+        result = find_optimal_abstraction(
+            paper_example, paper_tree, 2,
+            config=OptimizerConfig(incremental=False),
+        )
+        stats = result.stats
+        assert stats.full_evaluations == stats.candidates_scanned
+        assert stats.delta_evaluations == 0
+        assert stats.functions_materialized == 0
+        assert stats.contribution_cache_hits == 0
+
+    def test_explicit_distribution_falls_back(self, paper_db, paper_tree):
+        """Non-additive distributions cannot be evaluated incrementally."""
+        assert not getattr(ExplicitDistribution([1.0]), "supports_incremental", False)
+
+    def test_contribution_cache_reuse(self, paper_example, paper_tree):
+        variables, chains = _search_inputs(paper_example, paper_tree)
+        evaluator = IncrementalEvaluator(
+            paper_example, paper_tree, variables, chains, UniformDistribution()
+        )
+        levels = tuple(1 if len(chains[v]) > 1 else 0 for v in variables)
+        first = evaluator.loi(levels)
+        misses = evaluator.cache_misses
+        assert evaluator.loi(levels) == first
+        assert evaluator.cache_misses == misses  # second pass is all hits
+        assert evaluator.cache_hits > 0
+
+
+class TestTreeMemoization:
+    def test_ancestors_cached_after_freeze(self):
+        tree = tree_from_categories({"A": {"B": ["x", "y"]}, "C": ["z"]})
+        first = tree.ancestors("x")
+        assert tree.ancestors("x") is first  # memoized tuple identity
+        assert first == ("x", "B", "A", "*")
+
+    def test_leaves_under_cached_after_freeze(self):
+        tree = tree_from_categories({"A": {"B": ["x", "y"]}, "C": ["z"]})
+        assert sorted(tree.leaves_under("A")) == ["x", "y"]
+        # Second call is served from the memo and yields the same labels.
+        assert sorted(tree.leaves_under("A")) == ["x", "y"]
+        assert list(tree.leaves_under("z")) == ["z"]

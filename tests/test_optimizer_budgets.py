@@ -1,0 +1,109 @@
+"""Budget exhaustion paths of Algorithm 2 and Algorithm 1.
+
+The optimizer has three safety valves: a candidate budget
+(``max_candidates``), a wall-clock budget (``max_seconds``), and — inside
+the privacy computation — a concretization budget
+(``PrivacyConfig.max_concretizations``).  Each must degrade gracefully:
+return the best abstraction found so far (or a not-found result), never
+raise out of ``find_optimal_abstraction``.
+"""
+
+import math
+
+import pytest
+
+from repro.abstraction.function import AbstractionFunction
+from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
+from repro.core.privacy import PrivacyComputer, PrivacyConfig
+from repro.errors import OptimizationError
+
+
+class TestCandidateBudget:
+    def test_zero_budget_returns_not_found(self, paper_example, paper_tree):
+        result = find_optimal_abstraction(
+            paper_example, paper_tree, threshold=2,
+            config=OptimizerConfig(max_candidates=0),
+        )
+        assert not result.found
+        assert result.function is None
+        assert result.abstracted is None
+        assert result.privacy == -1
+        assert math.isinf(result.loi)
+        assert result.stats.candidates_scanned == 1  # the over-budget pop
+
+    def test_budget_keeps_best_so_far(self, paper_example, paper_tree):
+        """With room to find the k=1 optimum (the identity) but not to
+        finish the scan, the incumbent is still returned."""
+        result = find_optimal_abstraction(
+            paper_example, paper_tree, threshold=1,
+            config=OptimizerConfig(max_candidates=2),
+        )
+        assert result.found
+        assert result.loi == 0.0
+
+    def test_budget_respected_under_both_eval_modes(
+        self, paper_example, paper_tree
+    ):
+        for incremental in (True, False):
+            result = find_optimal_abstraction(
+                paper_example, paper_tree, threshold=2,
+                config=OptimizerConfig(
+                    max_candidates=3, incremental=incremental
+                ),
+            )
+            assert result.stats.candidates_scanned <= 4
+
+
+class TestTimeBudget:
+    def test_zero_seconds_stops_immediately(self, paper_example, paper_tree):
+        result = find_optimal_abstraction(
+            paper_example, paper_tree, threshold=2,
+            config=OptimizerConfig(max_seconds=0.0),
+        )
+        assert not result.found
+        assert result.stats.candidates_scanned == 1
+        assert result.stats.privacy_computations == 0
+        assert result.stats.elapsed_seconds > 0.0
+
+    def test_unbounded_by_default(self, paper_example, paper_tree):
+        config = OptimizerConfig()
+        assert config.max_seconds is None
+        assert config.max_candidates is None
+
+
+class TestPrivacyConcretizationBudget:
+    def test_exhaustion_is_counted_and_survived(self, paper_example, paper_tree):
+        """A tiny concretization budget makes every proper abstraction
+        unevaluable; the search skips them (counting each exhaustion) and
+        reports not-found instead of raising."""
+        result = find_optimal_abstraction(
+            paper_example, paper_tree, threshold=2,
+            config=OptimizerConfig(
+                privacy=PrivacyConfig(max_concretizations=1),
+            ),
+        )
+        assert not result.found
+        assert result.stats.privacy_budget_exhausted > 0
+        assert result.stats.privacy_computations >= result.stats.privacy_budget_exhausted
+
+    def test_computer_raises_directly(self, paper_example, paper_tree):
+        computer = PrivacyComputer(
+            paper_tree, paper_example.registry,
+            PrivacyConfig(max_concretizations=1),
+        )
+        function = AbstractionFunction.uniform(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        with pytest.raises(OptimizationError):
+            computer.compute(function.apply(paper_example), threshold=2)
+
+    def test_generous_budget_unaffected(self, paper_example, paper_tree):
+        tight = find_optimal_abstraction(
+            paper_example, paper_tree, threshold=2,
+            config=OptimizerConfig(
+                privacy=PrivacyConfig(max_concretizations=200_000),
+            ),
+        )
+        assert tight.found
+        assert tight.stats.privacy_budget_exhausted == 0
+        assert tight.loi == pytest.approx(math.log(15))
