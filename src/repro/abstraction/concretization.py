@@ -47,6 +47,11 @@ class ConcretizationEngine:
     def tree(self) -> AbstractionTree:
         return self._tree
 
+    @property
+    def connectivity_cache_size(self) -> int:
+        """Memoized per-row connectivity verdicts (0 when the cache is off)."""
+        return len(self._connectivity_cache)
+
     # -- counting (Proposition 3.5) ----------------------------------------
 
     def count(self, abstracted: AbstractedKExample) -> int:

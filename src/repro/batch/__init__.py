@@ -12,6 +12,7 @@ from repro.batch.optimizer import (
     BatchOptimizer,
     BatchResult,
     BatchStats,
+    clear_worker_caches,
     run_batch,
     run_job,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "BatchOptimizer",
     "BatchResult",
     "BatchStats",
+    "clear_worker_caches",
     "run_batch",
     "run_job",
 ]

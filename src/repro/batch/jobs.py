@@ -59,6 +59,9 @@ class BatchJobResult:
     # The optimal abstraction as {variable: target label} (uniform per
     # variable, as Algorithm 2 produces); empty when not found.
     variable_targets: dict[str, str] = field(default_factory=dict)
+    # Whether this job attached to a privacy session already warmed by an
+    # earlier job of the same worker (same context + privacy switches).
+    session_reused: bool = False
     error: Optional[str] = None
 
     @property

@@ -12,10 +12,19 @@ chains and leaf counts are exactly the tree-level caches the incremental
 evaluator hits — are built once per worker and shared by every job the
 worker executes.  Jobs for the same workload therefore pay the data
 generation cost once, as the sequential sweep harness always did.
+
+Stacked on the context cache is a :class:`~repro.core.privacy.PrivacySession`
+cache with the same key (plus the cache-relevant privacy switches): every
+cached entry of Algorithm 1 — row-option sets, prefix queries, and
+connectivity verdicts — is threshold-independent, so the jobs of a
+threshold sweep over one context share a single warmed session instead of
+recomputing the same concretization work per threshold.  Results are
+bit-identical with or without the sharing.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -25,6 +34,7 @@ from typing import Optional, Sequence
 
 from repro.batch.jobs import BatchJob, BatchJobResult
 from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
+from repro.core.privacy import PrivacyConfig, PrivacySession
 from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
 
 
@@ -44,6 +54,12 @@ class BatchStats:
     delta_evaluations: int = 0
     full_evaluations: int = 0
     functions_materialized: int = 0
+    # Cross-job privacy-session reuse: jobs that attached to a session
+    # warmed by an earlier job of the same context, and the row-option
+    # cache traffic across all jobs.
+    sessions_reused: int = 0
+    row_option_cache_hits: int = 0
+    row_option_cache_misses: int = 0
 
     @property
     def parallel_speedup(self) -> float:
@@ -60,7 +76,8 @@ class BatchStats:
             f"{self.wall_seconds:.2f}s wall, {self.job_seconds:.2f}s of search "
             f"({self.parallel_speedup:.1f}x), "
             f"{self.candidates_scanned} candidates, "
-            f"{self.privacy_computations} privacy computations"
+            f"{self.privacy_computations} privacy computations, "
+            f"{self.sessions_reused} warm-session jobs"
         )
 
 
@@ -90,6 +107,42 @@ def _cached_context(context_key: tuple, settings: ExperimentSettings):
     )
 
 
+@lru_cache(maxsize=32)
+def _cached_session(
+    context_key: tuple, privacy: PrivacyConfig, settings: ExperimentSettings
+) -> PrivacySession:
+    """Process-local privacy-session cache stacked on ``_cached_context``.
+
+    Algorithm 1's caches are threshold-independent, so one session serves
+    every job over the same context — the whole point of the cross-job
+    reuse.  The privacy config is canonicalized by the caller so jobs
+    differing only in cache-*consultation* switches still share.
+    """
+    context = _cached_context(context_key, settings)
+    return PrivacySession(context.tree, context.example.registry, privacy)
+
+
+def _session_for(
+    context_key: tuple, privacy: PrivacyConfig, settings: ExperimentSettings
+) -> PrivacySession:
+    # Only the session_key() fields affect cache contents; pin the rest so
+    # jobs differing in row_by_row / cache_queries land on one session.
+    canonical = dataclasses.replace(privacy, row_by_row=True, cache_queries=True)
+    return _cached_session(context_key, canonical, settings)
+
+
+def clear_worker_caches() -> None:
+    """Release this process's cached contexts and privacy sessions.
+
+    Sessions hold unbounded query-level caches for up to 32 contexts; a
+    long-lived process interleaving many large serial sweeps can call
+    this between batches to cap memory (worker processes die with their
+    pool, so they never need it).
+    """
+    _cached_session.cache_clear()
+    _cached_context.cache_clear()
+
+
 def run_job(job: BatchJob, settings: ExperimentSettings) -> BatchJobResult:
     """Execute one job; never raises (failures land in ``result.error``)."""
     try:
@@ -98,9 +151,12 @@ def run_job(job: BatchJob, settings: ExperimentSettings) -> BatchJobResult:
             max_candidates=settings.max_candidates,
             max_seconds=settings.max_seconds,
         )
+        session = _session_for(job.context_key(), config.privacy, settings)
+        session_reused = session.computers_attached > 0
         start = time.perf_counter()
         result = find_optimal_abstraction(
-            context.example, context.tree, job.threshold, config=config
+            context.example, context.tree, job.threshold, config=config,
+            session=session,
         )
         seconds = time.perf_counter() - start
         targets: dict[str, str] = {}
@@ -117,6 +173,7 @@ def run_job(job: BatchJob, settings: ExperimentSettings) -> BatchJobResult:
             seconds=seconds,
             stats=result.stats,
             variable_targets=targets,
+            session_reused=session_reused,
         )
     except Exception as exc:  # noqa: BLE001 - report, don't kill the pool
         return BatchJobResult(job=job, error=f"{type(exc).__name__}: {exc}")
@@ -175,6 +232,9 @@ class BatchOptimizer:
             stats.delta_evaluations += result.stats.delta_evaluations
             stats.full_evaluations += result.stats.full_evaluations
             stats.functions_materialized += result.stats.functions_materialized
+            stats.sessions_reused += int(result.session_reused)
+            stats.row_option_cache_hits += result.stats.row_option_cache_hits
+            stats.row_option_cache_misses += result.stats.row_option_cache_misses
         return BatchResult(results=results, stats=stats)
 
 

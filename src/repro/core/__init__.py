@@ -7,7 +7,7 @@ from repro.core.loi import (
     loss_of_information,
 )
 from repro.core.consistency import ConsistencyConfig, consistent_queries
-from repro.core.privacy import PrivacyComputer, PrivacyConfig
+from repro.core.privacy import PrivacyComputer, PrivacyConfig, PrivacySession
 from repro.core.optimizer import (
     IncrementalEvaluator,
     OptimalAbstractionResult,
@@ -29,6 +29,7 @@ __all__ = [
     "OptimizerStats",
     "PrivacyComputer",
     "PrivacyConfig",
+    "PrivacySession",
     "UniformDistribution",
     "brute_force_optimal_abstraction",
     "compression_baseline",

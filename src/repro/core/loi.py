@@ -37,8 +37,13 @@ class UniformDistribution:
         return math.log(tree.leaf_count(label))
 
     def loi(
-        self, abstracted: AbstractedKExample, tree: AbstractionTree
+        self,
+        abstracted: AbstractedKExample,
+        tree: AbstractionTree,
+        engine: "ConcretizationEngine | None" = None,
     ) -> float:
+        # ``engine`` is accepted for signature uniformity with
+        # ExplicitDistribution; the closed form needs no enumeration.
         total = 0.0
         for row in abstracted.rows:
             for label in row.occurrences:
@@ -80,7 +85,10 @@ class LeafWeightDistribution:
         return _entropy_of_weights(weights)
 
     def loi(
-        self, abstracted: AbstractedKExample, tree: AbstractionTree
+        self,
+        abstracted: AbstractedKExample,
+        tree: AbstractionTree,
+        engine: "ConcretizationEngine | None" = None,
     ) -> float:
         total = 0.0
         for row in abstracted.rows:
@@ -132,11 +140,24 @@ def loss_of_information(
     abstracted: AbstractedKExample,
     tree: AbstractionTree,
     distribution: "UniformDistribution | LeafWeightDistribution | None" = None,
+    engine: "ConcretizationEngine | None" = None,
 ) -> float:
-    """``LOI(A_T(Ex))`` under the given distribution (uniform by default)."""
+    """``LOI(A_T(Ex))`` under the given distribution (uniform by default).
+
+    ``engine`` enables the outcome-count validation of distributions that
+    enumerate the concretization set (:class:`ExplicitDistribution`): with
+    an engine the distribution's outcome count is checked against
+    ``|C(Ex~)|`` and a mismatch raises; without one the check is skipped —
+    the caller vouches that the probabilities line up with the engine's
+    enumeration order.  The closed-form distributions ignore it.
+    """
     if distribution is None:
         distribution = UniformDistribution()
-    return distribution.loi(abstracted, tree)
+    if engine is None:
+        # Two-argument call keeps custom distributions without an
+        # ``engine`` parameter working.
+        return distribution.loi(abstracted, tree)
+    return distribution.loi(abstracted, tree, engine)
 
 
 def _entropy_of_weights(weights: Sequence[float]) -> float:

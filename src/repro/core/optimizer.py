@@ -40,7 +40,7 @@ from typing import Iterator, Optional
 from repro.abstraction.function import AbstractionFunction
 from repro.abstraction.tree import AbstractionTree
 from repro.core.loi import UniformDistribution, loss_of_information
-from repro.core.privacy import PrivacyComputer, PrivacyConfig
+from repro.core.privacy import PrivacyComputer, PrivacyConfig, PrivacySession
 from repro.errors import OptimizationError
 from repro.provenance.kexample import AbstractedKExample, KExample, KExampleRow
 
@@ -79,6 +79,10 @@ class OptimizerStats:
     functions_materialized: int = 0       # lazily built abstracted examples
     contribution_cache_hits: int = 0      # per-(variable, level) cache reuses
     contribution_cache_misses: int = 0    # per-(variable, level) cache fills
+    # Privacy-session reuse during this search (copied from PrivacyStats):
+    # row-option sets served from the shared cache vs enumerated fresh.
+    row_option_cache_hits: int = 0
+    row_option_cache_misses: int = 0
 
 
 @dataclass
@@ -285,8 +289,15 @@ def find_optimal_abstraction(
     threshold: int,
     config: OptimizerConfig | None = None,
     distribution=None,
+    session: PrivacySession | None = None,
 ) -> OptimalAbstractionResult:
-    """Algorithm 2: the minimum-LOI abstraction with privacy >= ``threshold``."""
+    """Algorithm 2: the minimum-LOI abstraction with privacy >= ``threshold``.
+
+    ``session`` shares Algorithm 1's caches with other searches over the
+    same (tree, registry) — e.g. across a threshold sweep; omitted, the
+    search still pools privacy work across its own candidates through a
+    private session.  Results are bit-identical either way.
+    """
     config = config or OptimizerConfig()
     if not tree.is_compatible_with_annotations(example.registry.annotations()):
         raise OptimizationError(
@@ -294,7 +305,9 @@ def find_optimal_abstraction(
             "(an inner label collides with a tuple annotation)"
         )
 
-    computer = PrivacyComputer(tree, example.registry, config.privacy)
+    computer = PrivacyComputer(
+        tree, example.registry, config.privacy, session=session
+    )
     dist = distribution or UniformDistribution()
     prune = (
         config.prune_dominated
@@ -335,10 +348,12 @@ def find_optimal_abstraction(
             if levels is None:
                 break
 
-        stats.candidates_scanned += 1
+        # Budgets are checked before the candidate is counted, so
+        # ``candidates_scanned`` is exactly the number evaluated (the
+        # popped-but-unevaluated candidate is not reported as effort).
         if (
             config.max_candidates is not None
-            and stats.candidates_scanned > config.max_candidates
+            and stats.candidates_scanned >= config.max_candidates
         ):
             break
         if (
@@ -346,6 +361,7 @@ def find_optimal_abstraction(
             and time.perf_counter() - start_time > config.max_seconds
         ):
             break
+        stats.candidates_scanned += 1
 
         function: Optional[AbstractionFunction]
         abstracted: Optional[AbstractedKExample]
@@ -403,6 +419,8 @@ def find_optimal_abstraction(
     if evaluator is not None:
         stats.contribution_cache_hits = evaluator.cache_hits
         stats.contribution_cache_misses = evaluator.cache_misses
+    stats.row_option_cache_hits = computer.stats.row_option_cache_hits
+    stats.row_option_cache_misses = computer.stats.row_option_cache_misses
     edges = best.edges_used(example) if best is not None else 0
     return OptimalAbstractionResult(
         function=best,

@@ -9,6 +9,17 @@ optimizations, each independently switchable for the Figure 19 ablation:
 * filtering disconnected concretizations,
 * caching consistent queries per concretization prefix,
 * caching concretization connectivity.
+
+All of Algorithm 1's caches are *threshold-independent*: a row's
+concretization options, a prefix's consistent queries, and a row's
+connectivity verdict depend only on the (tree, registry) pair and the
+consistency knobs — never on the privacy threshold ``k`` or on which
+candidate abstraction is being evaluated.  :class:`PrivacySession` holds
+them in one shareable object so every ``compute()`` call over the same
+context reuses them: across the candidates of one search (candidates
+popped from the frontier differ in one variable level, so untouched rows'
+option sets are reusable verbatim), and across the searches of a
+threshold sweep or batch job group.
 """
 
 from __future__ import annotations
@@ -29,16 +40,42 @@ from repro.query.join_graph import is_connected
 
 @dataclass(frozen=True)
 class PrivacyConfig:
-    """Optimization switches for Algorithm 1 (Section 4.1)."""
+    """Optimization switches for Algorithm 1 (Section 4.1).
+
+    ``max_concretizations`` is a *per-site* budget, not a global total:
+    it bounds (a) the number of concretization options of any single row
+    and (b) the number of live concrete prefixes after fanning out any
+    single row of the row-by-row scan (equivalently, the size of the full
+    product in the monolithic path).  Both sites use the same boundary —
+    enumeration aborts as soon as the count *exceeds* the budget, so
+    exactly ``max_concretizations`` items are allowed at each site.  The
+    paper's settings stay far below the default.
+    """
 
     row_by_row: bool = True
     connectivity_filter: bool = True
     cache_queries: bool = True
     cache_connectivity: bool = True
     consistency: ConsistencyConfig = field(default_factory=ConsistencyConfig)
-    # Safety valve: stop if a single abstraction spawns this many
-    # concretization prefixes (the paper's settings stay far below).
     max_concretizations: int = 200_000
+
+    def session_key(self) -> tuple:
+        """The config fields a :class:`PrivacySession`'s caches depend on.
+
+        Computers may share a session iff these match: the consistency
+        knobs shape the prefix-query cache's contents, the connectivity
+        filter shapes the row-option sets, the connectivity-cache switch
+        shapes the shared engine, and the concretization budget decides
+        where row enumeration aborts.  ``row_by_row`` and ``cache_queries``
+        are deliberately absent — they change which caches are *consulted*,
+        never what a cached entry means.
+        """
+        return (
+            self.consistency,
+            self.connectivity_filter,
+            self.cache_connectivity,
+            self.max_concretizations,
+        )
 
 
 @dataclass
@@ -50,10 +87,46 @@ class PrivacyStats:
     query_cache_hits: int = 0
     query_cache_misses: int = 0
     consistency_calls: int = 0
+    # Session-level reuse: row-option sets served from / added to the
+    # shared per-(output, occurrences) cache.  Work counters above are
+    # only charged on misses — a hit does no enumeration or filtering.
+    row_option_cache_hits: int = 0
+    row_option_cache_misses: int = 0
+    # Pairwise strict-containment verdicts (the homomorphism searches
+    # behind GetMinimalQueries — the dominant privacy cost) served from
+    # the session vs computed fresh, and whole minimal-set memo hits.
+    containment_cache_hits: int = 0
+    containment_cache_misses: int = 0
+    minimal_set_cache_hits: int = 0
+    minimal_set_cache_misses: int = 0
 
 
-class PrivacyComputer:
-    """Computes the privacy of abstracted K-examples over one tree."""
+class PrivacySession:
+    """Shareable caches for Algorithm 1 over one (tree, registry) context.
+
+    One session may back any number of :class:`PrivacyComputer` instances
+    — sequentially or interleaved — as long as they agree on the
+    cache-relevant config fields (:meth:`PrivacyConfig.session_key`).  It
+    holds:
+
+    * ``row_option_cache`` — each row signature's concretization options
+      (post connectivity filter), keyed by ``(output, occurrences)``,
+    * ``query_cache`` — consistent queries per concretization prefix,
+    * ``engine`` — the :class:`ConcretizationEngine` with its memoized
+      per-row connectivity verdicts,
+    * ``containment_cache`` — pairwise strict-containment verdicts (each
+      one a homomorphism search, the dominant cost of GetMinimalQueries),
+      keyed by the two queries' canonical forms,
+    * ``connected_query_cache`` — per-query join-graph connectivity,
+    * ``minimal_set_cache`` — the inclusion-minimal subset of a whole
+      connected-query set, keyed by the set of canonical forms.
+
+    Every entry is threshold-independent (query-level facts don't depend
+    on any config at all), so a session warmed by one search is valid for
+    any other threshold over the same context; results are bit-identical
+    with or without sharing (caches return exactly what recomputation
+    would produce).
+    """
 
     def __init__(
         self,
@@ -61,13 +134,87 @@ class PrivacyComputer:
         registry: AnnotationRegistry,
         config: PrivacyConfig | None = None,
     ):
+        config = config or PrivacyConfig()
+        self._tree = tree
+        self._registry = registry
+        self._key = config.session_key()
+        self.engine = ConcretizationEngine(
+            tree, registry, use_connectivity_cache=config.cache_connectivity
+        )
+        self.query_cache: dict[tuple, frozenset[CQ]] = {}
+        self.row_option_cache: dict[tuple, list[KExampleRow]] = {}
+        self.containment_cache: dict[tuple, bool] = {}
+        self.connected_query_cache: dict[tuple, bool] = {}
+        self.minimal_set_cache: dict[frozenset, frozenset] = {}
+        #: How many computers have attached; > 1 means the session was reused.
+        self.computers_attached = 0
+
+    @property
+    def tree(self) -> AbstractionTree:
+        return self._tree
+
+    @property
+    def registry(self) -> AnnotationRegistry:
+        return self._registry
+
+    def compatible_with(
+        self,
+        tree: AbstractionTree,
+        registry: AnnotationRegistry,
+        config: PrivacyConfig,
+    ) -> bool:
+        """Whether a computer over (tree, registry, config) may attach."""
+        return (
+            tree is self._tree
+            and registry is self._registry
+            and config.session_key() == self._key
+        )
+
+    def cache_sizes(self) -> dict[str, int]:
+        """Current entry counts, for diagnostics and tests."""
+        return {
+            "row_options": len(self.row_option_cache),
+            "prefix_queries": len(self.query_cache),
+            "connectivity": self.engine.connectivity_cache_size,
+            "containments": len(self.containment_cache),
+            "connected_queries": len(self.connected_query_cache),
+            "minimal_sets": len(self.minimal_set_cache),
+        }
+
+
+class PrivacyComputer:
+    """Computes the privacy of abstracted K-examples over one tree.
+
+    ``session`` shares Algorithm 1's caches with other computers over the
+    same (tree, registry); omitted, the computer gets a private session,
+    which still pools work across every ``compute()`` call it serves.
+    """
+
+    def __init__(
+        self,
+        tree: AbstractionTree,
+        registry: AnnotationRegistry,
+        config: PrivacyConfig | None = None,
+        session: PrivacySession | None = None,
+    ):
         self._tree = tree
         self._registry = registry
         self._config = config or PrivacyConfig()
-        self._engine = ConcretizationEngine(
-            tree, registry, use_connectivity_cache=self._config.cache_connectivity
-        )
-        self._query_cache: dict[tuple, frozenset[CQ]] = {}
+        if session is None:
+            session = PrivacySession(tree, registry, self._config)
+        elif not session.compatible_with(tree, registry, self._config):
+            raise OptimizationError(
+                "privacy session is incompatible with this computer "
+                "(different tree, registry, or cache-relevant config)"
+            )
+        self._session = session
+        session.computers_attached += 1
+        self._engine = session.engine
+        self._query_cache = session.query_cache
+        self._row_option_cache = session.row_option_cache
+        self._containment_cache = session.containment_cache
+        self._connected_cache = session.connected_query_cache
+        self._minimal_set_cache = session.minimal_set_cache
         self.stats = PrivacyStats()
 
     @property
@@ -77,6 +224,10 @@ class PrivacyComputer:
     @property
     def engine(self) -> ConcretizationEngine:
         return self._engine
+
+    @property
+    def session(self) -> PrivacySession:
+        return self._session
 
     def compute(self, abstracted: AbstractedKExample, threshold: int) -> int:
         """Algorithm 1: the privacy of ``abstracted`` or -1 if below ``threshold``."""
@@ -92,7 +243,8 @@ class PrivacyComputer:
     def cim_queries(self, abstracted: AbstractedKExample) -> frozenset[CQ]:
         """The CIM queries w.r.t. ``abstracted`` (Definition 3.10)."""
         connected = self._connected_queries_full(abstracted)
-        return _minimal_queries(connected)
+        keys = self._minimal_keys(connected)
+        return frozenset(connected[k] for k in keys)
 
     # -- Algorithm 1 proper -------------------------------------------------
 
@@ -108,7 +260,6 @@ class PrivacyComputer:
         good_prefixes: list[tuple[KExampleRow, ...]] = [
             (row,) for row in first_row_options
         ]
-        queries: dict[tuple, CQ] = {}
 
         if len(rows) == 1:
             queries = self._queries_for_prefixes(good_prefixes)[0]
@@ -129,11 +280,22 @@ class PrivacyComputer:
                         )
             queries, prefix_of_query = self._queries_for_prefixes(prefixes)
 
+            # The connected-query count only shrinks as rows are added
+            # (each new row constrains the consistent set), so falling
+            # below the threshold here decides the full example too.
             connected = {
-                key: q for key, q in queries.items() if is_connected(q)
+                key: q for key, q in queries.items()
+                if self._query_connected(q)
             }
             if len(connected) < threshold:
                 return -1
+
+            if index == len(rows) - 1:
+                # Inclusion-minimal counts are NOT monotone in the rows
+                # (a later row can kill a small query, promoting the
+                # larger ones it dominated), so the CIM gate may only
+                # fire on the complete example.
+                return self._gated_cim_count(connected, threshold)
 
             good_set: set[tuple[KExampleRow, ...]] = set()
             for key in connected:
@@ -142,29 +304,21 @@ class PrivacyComputer:
                 good_set, key=lambda p: tuple(r.occurrences for r in p)
             )
 
-            cim = _minimal_queries(frozenset(connected.values()))
-            if len(cim) < threshold:
-                return -1
-            if index == len(rows) - 1:
-                return len(cim)
-
         raise AssertionError("unreachable")
 
     def _compute_monolithic(
         self, abstracted: AbstractedKExample, threshold: int
     ) -> int:
         connected = self._connected_queries_full(abstracted)
-        if len(connected) < threshold:
-            return -1
-        cim = _minimal_queries(connected)
-        return len(cim) if len(cim) >= threshold else -1
+        return self._gated_cim_count(connected, threshold)
 
     def _connected_queries_full(
         self, abstracted: AbstractedKExample
-    ) -> frozenset[CQ]:
+    ) -> dict[tuple, CQ]:
+        """The connected consistent queries, keyed by canonical form."""
         per_row_options = [self._row_options(row) for row in abstracted.rows]
         if any(not options for options in per_row_options):
-            return frozenset()
+            return {}
         out: dict[tuple, CQ] = {}
         count = 0
         for combo in itertools.product(*per_row_options):
@@ -175,28 +329,35 @@ class PrivacyComputer:
                     "abstraction or raise max_concretizations"
                 )
             for query in self._queries_of_prefix(combo):
-                if is_connected(query):
+                if self._query_connected(query):
                     out.setdefault(query.canonical(), query)
-        return frozenset(out.values())
+        return out
 
     # -- helpers --------------------------------------------------------------
 
     def _row_options(self, row: KExampleRow) -> list[KExampleRow]:
-        options = []
-        for count, option in enumerate(self._engine.concretize_row(row)):
-            if count >= self._config.max_concretizations:
+        key = (row.output, row.occurrences)
+        cached = self._row_option_cache.get(key)
+        if cached is not None:
+            self.stats.row_option_cache_hits += 1
+            return cached
+        self.stats.row_option_cache_misses += 1
+        options: list[KExampleRow] = []
+        for option in self._engine.concretize_row(row):
+            options.append(option)
+            if len(options) > self._config.max_concretizations:
                 raise OptimizationError(
                     "per-row concretization budget exhausted; tighten the "
                     "abstraction or raise max_concretizations"
                 )
-            options.append(option)
         self.stats.concretizations_seen += len(options)
         if self._config.connectivity_filter:
             kept = [r for r in options if self._engine.row_connected(r)]
             self.stats.concretizations_pruned_disconnected += (
                 len(options) - len(kept)
             )
-            return kept
+            options = kept
+        self._row_option_cache[key] = options
         return options
 
     def _queries_for_prefixes(
@@ -230,17 +391,76 @@ class PrivacyComputer:
         return result
 
     def _finish(self, queries: dict[tuple, CQ], threshold: int) -> int:
-        connected = frozenset(q for q in queries.values() if is_connected(q))
+        connected = {
+            key: q for key, q in queries.items() if self._query_connected(q)
+        }
+        return self._gated_cim_count(connected, threshold)
+
+    def _gated_cim_count(self, connected: dict[tuple, CQ], threshold: int) -> int:
+        """Both gates of Algorithm 1's tail, shared by every compute path:
+        connected count first (cheap), CIM count second (homomorphisms)."""
         if len(connected) < threshold:
             return -1
-        cim = _minimal_queries(connected)
-        return len(cim) if len(cim) >= threshold else -1
+        cim = len(self._minimal_keys(connected))
+        return cim if cim >= threshold else -1
+
+    # -- session-cached query-level facts -----------------------------------
+    #
+    # Connectivity, pairwise containment, and inclusion-minimality are
+    # renaming-invariant properties of the queries alone (no config, no
+    # threshold), so their verdicts are cached in the session keyed by
+    # canonical forms and shared across candidates, thresholds, and jobs.
+
+    def _query_connected(self, query: CQ) -> bool:
+        key = query.canonical()
+        cached = self._connected_cache.get(key)
+        if cached is None:
+            cached = is_connected(query)
+            self._connected_cache[key] = cached
+        return cached
+
+    def _strictly_contained(self, a: CQ, b: CQ) -> bool:
+        key = (a.canonical(), b.canonical())
+        cached = self._containment_cache.get(key)
+        if cached is None:
+            self.stats.containment_cache_misses += 1
+            cached = is_strictly_contained_in(a, b)
+            self._containment_cache[key] = cached
+        else:
+            self.stats.containment_cache_hits += 1
+        return cached
+
+    def _minimal_keys(self, queries: dict[tuple, CQ]) -> frozenset:
+        """Canonical keys of the inclusion-minimal queries of the set.
+
+        Count-equivalent to :func:`_minimal_queries` — the dict is keyed
+        by canonical form, so its values are pairwise non-equal and the
+        minimality scan visits the same queries in the same order.
+        """
+        set_key = frozenset(queries)
+        cached = self._minimal_set_cache.get(set_key)
+        if cached is not None:
+            self.stats.minimal_set_cache_hits += 1
+            return cached
+        self.stats.minimal_set_cache_misses += 1
+        ordered = sorted(queries.values(), key=lambda q: (len(q.body), repr(q)))
+        minimal = [
+            query for query in ordered
+            if not any(self._strictly_contained(other, query)
+                       for other in ordered if other is not query)
+        ]
+        result = frozenset(query.canonical() for query in minimal)
+        self._minimal_set_cache[set_key] = result
+        return result
 
 
 def _minimal_queries(queries: frozenset[CQ]) -> frozenset[CQ]:
     """The inclusion-minimal queries of a set (GetMinimalQueries).
 
-    ``q`` survives iff no other query in the set is strictly contained in it.
+    ``q`` survives iff no other query in the set is strictly contained in
+    it.  Reference implementation: the computer's cached
+    :meth:`PrivacyComputer._minimal_keys` must always agree with it
+    (pinned by ``tests/test_privacy.py``).
     """
     ordered = sorted(queries, key=lambda q: (len(q.body), repr(q)))
     minimal: list[CQ] = []

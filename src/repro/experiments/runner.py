@@ -19,6 +19,7 @@ from repro.core.optimizer import (
     OptimizerConfig,
     find_optimal_abstraction,
 )
+from repro.core.privacy import PrivacyConfig, PrivacySession
 from repro.datasets.imdb import generate_imdb
 from repro.datasets.queries import get_query
 from repro.datasets.tpch import generate_tpch
@@ -112,10 +113,27 @@ def prepare_context(
     )
 
 
+def privacy_session_for(
+    context: ExperimentContext,
+    privacy: Optional[PrivacyConfig] = None,
+) -> PrivacySession:
+    """A privacy session over the context, shareable across its searches.
+
+    Algorithm 1's caches are threshold-independent, so one session can
+    back a whole threshold sweep over ``context`` (pass it to each
+    :func:`timed_optimal` call) with bit-identical results and far less
+    recomputed concretization work.
+    """
+    return PrivacySession(
+        context.tree, context.example.registry, privacy or PrivacyConfig()
+    )
+
+
 def timed_optimal(
     context: ExperimentContext,
     threshold: int,
     config: Optional[OptimizerConfig] = None,
+    session: Optional[PrivacySession] = None,
 ) -> tuple[OptimalAbstractionResult, float]:
     """Run the optimizer and return (result, wall seconds)."""
     config = config or OptimizerConfig(
@@ -124,7 +142,8 @@ def timed_optimal(
     )
     start = time.perf_counter()
     result = find_optimal_abstraction(
-        context.example, context.tree, threshold, config=config
+        context.example, context.tree, threshold, config=config,
+        session=session,
     )
     return result, time.perf_counter() - start
 

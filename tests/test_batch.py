@@ -109,6 +109,52 @@ class TestParallel:
         assert batch.stats.workers == 1  # no pool spawned for one job
 
 
+class TestSessionSharing:
+    """Jobs over one context share a privacy session across thresholds."""
+
+    def test_same_context_jobs_share_session(self):
+        # A distinct n_leaves keeps this context cold within the process,
+        # so the reuse pattern is deterministic: first job warms, rest hit.
+        jobs = [BatchJob("TPCH-Q3", k, n_leaves=37) for k in (2, 3, 4)]
+        batch = run_batch(jobs, TINY, max_workers=1)
+        assert all(r.ok for r in batch.results)
+        assert [r.session_reused for r in batch.results] == [False, True, True]
+        assert batch.stats.sessions_reused == 2
+        assert batch.stats.row_option_cache_hits > 0
+
+    def test_different_contexts_get_separate_sessions(self):
+        jobs = [
+            BatchJob("TPCH-Q3", 2, n_leaves=38),
+            BatchJob("TPCH-Q10", 2, n_leaves=38),
+        ]
+        batch = run_batch(jobs, TINY, max_workers=1)
+        assert all(r.ok for r in batch.results)
+        assert [r.session_reused for r in batch.results] == [False, False]
+        assert batch.stats.sessions_reused == 0
+
+    def test_warm_session_results_match_direct_search(self):
+        """Cross-threshold sharing must be invisible in the results."""
+        thresholds = (2, 3)
+        jobs = [BatchJob("TPCH-Q3", k) for k in thresholds]
+        batch = run_batch(jobs, TINY, max_workers=1)
+        context = prepare_context("TPCH-Q3", TINY)
+        for result, threshold in zip(batch.results, thresholds):
+            assert result.ok
+            direct = find_optimal_abstraction(
+                context.example, context.tree, threshold,
+                config=OptimizerConfig(
+                    max_candidates=TINY.max_candidates,
+                    max_seconds=TINY.max_seconds,
+                ),
+            )
+            assert result.found == direct.found
+            assert result.loi == direct.loi
+            assert result.privacy == direct.privacy
+            if direct.found:
+                function = result.function(context.tree, context.example)
+                assert function.assignment == direct.function.assignment
+
+
 class TestStats:
     def test_aggregation_sums_job_stats(self):
         jobs = [BatchJob("TPCH-Q3", 2), BatchJob("TPCH-Q3", 3)]

@@ -13,6 +13,8 @@ import random
 import pytest
 
 from repro.abstraction.builders import balanced_tree, tree_from_categories
+from repro.core.dual import find_dual_optimal_abstraction
+from repro.core.privacy import PrivacySession
 from repro.core.loi import (
     ExplicitDistribution,
     LeafWeightDistribution,
@@ -150,6 +152,78 @@ class TestEndToEndEquivalence:
         )
         assert incremental.loi == full.loi == pytest.approx(math.log(15))
         assert incremental.function.assignment == full.function.assignment
+
+
+class TestDualEndToEndEquivalence:
+    """The dual search rides the same evaluator; incremental=True must be
+    bit-identical to the from-scratch path (function, privacy, LOI)."""
+
+    CAPS = (0.0, 1.5, 3.0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dual_results_identical(self, seed):
+        _, example, tree = _random_instance(seed)
+        budget = dict(max_candidates=120)
+        for max_loi in self.CAPS:
+            incremental = find_dual_optimal_abstraction(
+                example, tree, max_loi, config=OptimizerConfig(**budget)
+            )
+            full = find_dual_optimal_abstraction(
+                example, tree, max_loi,
+                config=OptimizerConfig(incremental=False, **budget),
+            )
+            assert incremental.found == full.found
+            assert incremental.loi == full.loi
+            assert incremental.privacy == full.privacy
+            assert incremental.edges_used == full.edges_used
+            assert incremental.stats.candidates_scanned == (
+                full.stats.candidates_scanned
+            )
+            assert incremental.stats.privacy_computations == (
+                full.stats.privacy_computations
+            )
+            if incremental.found:
+                assert incremental.function.assignment == (
+                    full.function.assignment
+                )
+                assert incremental.abstracted.rows == full.abstracted.rows
+
+    def test_paper_dual_identical(self, paper_example, paper_tree):
+        incremental = find_dual_optimal_abstraction(
+            paper_example, paper_tree, max_loi=math.log(15)
+        )
+        full = find_dual_optimal_abstraction(
+            paper_example, paper_tree, max_loi=math.log(15),
+            config=OptimizerConfig(incremental=False),
+        )
+        assert incremental.privacy == full.privacy
+        assert incremental.loi == full.loi
+        assert incremental.function.assignment == full.function.assignment
+
+    def test_dual_uses_delta_evaluations(self, paper_example, paper_tree):
+        result = find_dual_optimal_abstraction(
+            paper_example, paper_tree, max_loi=math.log(15)
+        )
+        stats = result.stats
+        assert stats.delta_evaluations == stats.candidates_scanned
+        assert stats.full_evaluations == 0
+        # Lazy materialization: only under-cap candidates are built.
+        assert stats.functions_materialized == stats.privacy_computations
+
+    def test_dual_shared_session_identical(self, paper_example, paper_tree):
+        """One session across an LOI-cap sweep changes nothing but speed."""
+        session = PrivacySession(paper_tree, paper_example.registry)
+        for max_loi in (0.0, math.log(15), math.log(20)):
+            shared = find_dual_optimal_abstraction(
+                paper_example, paper_tree, max_loi, session=session
+            )
+            cold = find_dual_optimal_abstraction(
+                paper_example, paper_tree, max_loi
+            )
+            assert shared.privacy == cold.privacy
+            assert shared.loi == cold.loi
+            if cold.found:
+                assert shared.function.assignment == cold.function.assignment
 
 
 class TestEvaluatorBookkeeping:

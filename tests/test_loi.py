@@ -117,3 +117,67 @@ class TestExplicit:
     def test_negative_probability_rejected(self):
         with pytest.raises(AbstractionError):
             ExplicitDistribution([1.5, -0.5])
+
+
+class TestEngineForwarding:
+    """``loss_of_information`` must forward the engine so the explicit
+    distribution's outcome-count validation actually runs."""
+
+    def test_engine_validates_outcome_count(
+        self, paper_tree, paper_db, paper_example
+    ):
+        abstracted = _abstract(paper_tree, paper_example, {"i1": "WikiLeaks"})
+        engine = ConcretizationEngine(paper_tree, paper_db.registry)
+        with pytest.raises(AbstractionError):
+            loss_of_information(
+                abstracted, paper_tree,
+                ExplicitDistribution([0.5, 0.5]), engine=engine,
+            )
+
+    def test_engine_passes_matching_count(
+        self, paper_tree, paper_db, paper_example
+    ):
+        abstracted = _abstract(paper_tree, paper_example, {"i1": "WikiLeaks"})
+        engine = ConcretizationEngine(paper_tree, paper_db.registry)
+        dist = ExplicitDistribution([0.1, 0.2, 0.3, 0.4])
+        assert math.isclose(
+            loss_of_information(abstracted, paper_tree, dist, engine=engine),
+            1.27985, abs_tol=1e-4,
+        )
+
+    def test_without_engine_skip_is_explicit(
+        self, paper_tree, paper_example
+    ):
+        """No engine -> the count check is documented as skipped; the
+        entropy is still computed from the probabilities alone."""
+        abstracted = _abstract(paper_tree, paper_example, {"i1": "WikiLeaks"})
+        dist = ExplicitDistribution([0.5, 0.5])  # wrong count, unvalidated
+        assert math.isclose(
+            loss_of_information(abstracted, paper_tree, dist), math.log(2)
+        )
+
+    def test_closed_forms_ignore_engine(
+        self, paper_tree, paper_db, paper_example
+    ):
+        abstracted = _abstract(paper_tree, paper_example, {"h1": "Facebook"})
+        engine = ConcretizationEngine(paper_tree, paper_db.registry)
+        assert loss_of_information(
+            abstracted, paper_tree, UniformDistribution(), engine=engine
+        ) == loss_of_information(abstracted, paper_tree)
+        weights = LeafWeightDistribution({})
+        assert loss_of_information(
+            abstracted, paper_tree, weights, engine=engine
+        ) == loss_of_information(abstracted, paper_tree, weights)
+
+    def test_custom_distribution_without_engine_param(
+        self, paper_tree, paper_example
+    ):
+        """Distributions with the legacy two-argument ``loi`` keep working
+        as long as no engine is supplied."""
+
+        class Legacy:
+            def loi(self, abstracted, tree):
+                return 42.0
+
+        abstracted = _abstract(paper_tree, paper_example, {})
+        assert loss_of_information(abstracted, paper_tree, Legacy()) == 42.0

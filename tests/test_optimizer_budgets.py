@@ -13,6 +13,7 @@ import math
 import pytest
 
 from repro.abstraction.function import AbstractionFunction
+from repro.core.dual import find_dual_optimal_abstraction
 from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
 from repro.core.privacy import PrivacyComputer, PrivacyConfig
 from repro.errors import OptimizationError
@@ -29,7 +30,8 @@ class TestCandidateBudget:
         assert result.abstracted is None
         assert result.privacy == -1
         assert math.isinf(result.loi)
-        assert result.stats.candidates_scanned == 1  # the over-budget pop
+        # Reported effort equals work done: nothing was evaluated.
+        assert result.stats.candidates_scanned == 0
 
     def test_budget_keeps_best_so_far(self, paper_example, paper_tree):
         """With room to find the k=1 optimum (the identity) but not to
@@ -41,17 +43,43 @@ class TestCandidateBudget:
         assert result.found
         assert result.loi == 0.0
 
-    def test_budget_respected_under_both_eval_modes(
-        self, paper_example, paper_tree
+    @pytest.mark.parametrize("budget", [1, 3, 7])
+    def test_exhausted_budget_counts_exactly(
+        self, paper_example, paper_tree, budget
     ):
+        """When the budget trips, candidates_scanned == max_candidates —
+        the popped-but-unevaluated candidate is not reported as effort."""
         for incremental in (True, False):
             result = find_optimal_abstraction(
                 paper_example, paper_tree, threshold=2,
                 config=OptimizerConfig(
-                    max_candidates=3, incremental=incremental
+                    max_candidates=budget, incremental=incremental
                 ),
             )
-            assert result.stats.candidates_scanned <= 4
+            assert result.stats.candidates_scanned == budget
+
+    @pytest.mark.parametrize("budget", [0, 1, 5])
+    def test_dual_budget_counts_exactly(self, paper_example, paper_tree, budget):
+        result = find_dual_optimal_abstraction(
+            paper_example, paper_tree, max_loi=math.inf,
+            config=OptimizerConfig(max_candidates=budget),
+        )
+        assert result.stats.candidates_scanned == budget
+
+    def test_generous_budget_not_hit(self, paper_example, paper_tree):
+        """A budget larger than the whole space leaves the scan untouched."""
+        bounded = find_optimal_abstraction(
+            paper_example, paper_tree, threshold=2,
+            config=OptimizerConfig(max_candidates=100_000),
+        )
+        unbounded = find_optimal_abstraction(
+            paper_example, paper_tree, threshold=2,
+        )
+        assert (
+            bounded.stats.candidates_scanned
+            == unbounded.stats.candidates_scanned
+        )
+        assert bounded.stats.candidates_scanned < 100_000
 
 
 class TestTimeBudget:
@@ -61,9 +89,20 @@ class TestTimeBudget:
             config=OptimizerConfig(max_seconds=0.0),
         )
         assert not result.found
-        assert result.stats.candidates_scanned == 1
+        assert result.stats.candidates_scanned == 0
         assert result.stats.privacy_computations == 0
         assert result.stats.elapsed_seconds > 0.0
+
+    def test_dual_zero_seconds_stops_immediately(
+        self, paper_example, paper_tree
+    ):
+        result = find_dual_optimal_abstraction(
+            paper_example, paper_tree, max_loi=math.inf,
+            config=OptimizerConfig(max_seconds=0.0),
+        )
+        assert not result.found
+        assert result.stats.candidates_scanned == 0
+        assert result.stats.privacy_computations == 0
 
     def test_unbounded_by_default(self, paper_example, paper_tree):
         config = OptimizerConfig()

@@ -1,10 +1,16 @@
 """Tests for Algorithm 1: privacy computation."""
 
+import random
+
 import pytest
 
+from repro.abstraction.builders import balanced_tree
 from repro.abstraction.function import AbstractionFunction
-from repro.core.privacy import PrivacyComputer, PrivacyConfig
+from repro.core.privacy import PrivacyComputer, PrivacyConfig, PrivacySession
+from repro.db.database import KDatabase
+from repro.db.schema import Schema
 from repro.errors import OptimizationError
+from repro.provenance.kexample import KExample, KExampleRow
 from repro.query.containment import is_equivalent
 from repro.examples_data import Q_FALSE_1, Q_FALSE_2, Q_REAL
 
@@ -139,3 +145,205 @@ class TestMechanics:
     ):
         abstracted = _abstract(paper_tree, paper_example, {})
         assert computer.compute(abstracted, threshold=0) >= 0
+
+
+def _random_instance(seed: int):
+    """A random database, K-example, and abstraction tree (kept small:
+    Algorithm 1 is exponential in the row count)."""
+    rng = random.Random(seed)
+    db = KDatabase(Schema.from_dict({"R": ["a", "b"], "S": ["b", "c"]}))
+    n_r, n_s = rng.randint(3, 5), rng.randint(3, 5)
+    for i in range(n_r):
+        db.insert("R", (i, rng.randint(0, 3)), f"r{i}")
+    for j in range(n_s):
+        db.insert("S", (rng.randint(0, 3), j), f"s{j}")
+    annotations = [f"r{i}" for i in range(n_r)] + [f"s{j}" for j in range(n_s)]
+
+    rows = []
+    for _ in range(rng.randint(2, 3)):
+        k = rng.randint(2, 3)
+        rows.append(KExampleRow((rng.randint(0, 9),), rng.sample(annotations, k)))
+    example = KExample(rows, db.registry)
+
+    tree = balanced_tree(annotations, height=rng.randint(2, 3), seed=seed)
+    return db, example, tree
+
+
+def _random_abstraction(example, tree, rng):
+    """Abstract a random subset of the example's variables to random
+    ancestors."""
+    targets = {}
+    for var in sorted(example.variables()):
+        if var in tree.labels() and tree.is_leaf(var) and rng.random() < 0.6:
+            chain = tree.ancestors(var)
+            if len(chain) > 1:
+                targets[var] = chain[rng.randrange(1, len(chain))]
+    return _abstract(tree, example, targets)
+
+
+class TestRowByRowEquivalence:
+    """Row-by-row with GoodConc must agree with the monolithic path.
+
+    Regression for the intermediate CIM gate: inclusion-minimal query
+    counts are *not* monotone as rows are added (a later row can kill a
+    small query, promoting the larger queries it dominated), so pruning
+    on an intermediate prefix's CIM count could wrongly return -1 for
+    examples whose full CIM count meets the threshold.  Only the
+    connected-query count shrinks monotonically and may gate early.
+    """
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomized_privacy_equivalence(self, seed):
+        db, example, tree = _random_instance(seed)
+        rng = random.Random(seed + 5000)
+        row_by_row = PrivacyComputer(tree, db.registry, PrivacyConfig())
+        monolithic = PrivacyComputer(
+            tree, db.registry, PrivacyConfig(row_by_row=False)
+        )
+        for _ in range(3):
+            abstracted = _random_abstraction(example, tree, rng)
+            assert row_by_row.privacy(abstracted) == monolithic.privacy(
+                abstracted
+            )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomized_threshold_equivalence(self, seed):
+        """compute() must agree at every threshold, not just threshold 0 —
+        this is where the dropped intermediate CIM gate used to diverge."""
+        db, example, tree = _random_instance(seed)
+        rng = random.Random(seed + 6000)
+        row_by_row = PrivacyComputer(tree, db.registry, PrivacyConfig())
+        monolithic = PrivacyComputer(
+            tree, db.registry, PrivacyConfig(row_by_row=False)
+        )
+        abstracted = _random_abstraction(example, tree, rng)
+        for threshold in range(0, 5):
+            assert row_by_row.compute(abstracted, threshold) == (
+                monolithic.compute(abstracted, threshold)
+            ), f"threshold {threshold}"
+
+    def test_paper_example_thresholds(self, paper_tree, paper_db, paper_example):
+        row_by_row = PrivacyComputer(paper_tree, paper_db.registry)
+        monolithic = PrivacyComputer(
+            paper_tree, paper_db.registry, PrivacyConfig(row_by_row=False)
+        )
+        abstracted = _abstract(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        for threshold in range(0, 5):
+            assert row_by_row.compute(abstracted, threshold) == (
+                monolithic.compute(abstracted, threshold)
+            )
+
+
+class TestPrivacySession:
+    def test_private_session_by_default(self, paper_tree, paper_db):
+        a = PrivacyComputer(paper_tree, paper_db.registry)
+        b = PrivacyComputer(paper_tree, paper_db.registry)
+        assert a.session is not b.session
+        assert a.session.computers_attached == 1
+
+    def test_shared_session_reuses_row_options(
+        self, paper_tree, paper_db, paper_example
+    ):
+        session = PrivacySession(paper_tree, paper_db.registry)
+        abstracted = _abstract(
+            paper_tree, paper_example, {"h1": "Facebook", "h2": "LinkedIn"}
+        )
+        first = PrivacyComputer(paper_tree, paper_db.registry, session=session)
+        warm_value = first.privacy(abstracted)
+        assert first.stats.row_option_cache_misses > 0
+
+        second = PrivacyComputer(paper_tree, paper_db.registry, session=session)
+        assert session.computers_attached == 2
+        assert second.privacy(abstracted) == warm_value
+        # Every row option and prefix query is served from the warm caches.
+        assert second.stats.row_option_cache_misses == 0
+        assert second.stats.row_option_cache_hits > 0
+        assert second.stats.consistency_calls == 0
+        assert second.stats.concretizations_seen == 0
+
+    def test_shared_session_is_bit_identical(
+        self, paper_tree, paper_db, paper_example
+    ):
+        """Cached answers must equal fresh recomputation for every
+        abstraction and threshold the paper's examples exercise."""
+        session = PrivacySession(paper_tree, paper_db.registry)
+        targets_list = [
+            {"h1": "Facebook", "h2": "LinkedIn"},
+            {"i1": "WikiLeaks", "i2": "Facebook"},
+            {"i1": "WikiLeaks"},
+            {"h1": "Social Network"},
+        ]
+        shared = PrivacyComputer(paper_tree, paper_db.registry, session=session)
+        for targets in targets_list:
+            abstracted = _abstract(paper_tree, paper_example, targets)
+            fresh = PrivacyComputer(paper_tree, paper_db.registry)
+            for threshold in range(0, 4):
+                assert shared.compute(abstracted, threshold) == (
+                    fresh.compute(abstracted, threshold)
+                )
+
+    def test_incompatible_session_rejected(self, paper_tree, paper_db):
+        session = PrivacySession(paper_tree, paper_db.registry)
+        with pytest.raises(OptimizationError):
+            PrivacyComputer(
+                paper_tree, paper_db.registry,
+                PrivacyConfig(connectivity_filter=False),
+                session=session,
+            )
+
+    def test_cache_consultation_switches_may_differ(self, paper_tree, paper_db):
+        """row_by_row / cache_queries change which caches are consulted,
+        not what a cached entry means, so they don't block sharing."""
+        session = PrivacySession(paper_tree, paper_db.registry)
+        PrivacyComputer(
+            paper_tree, paper_db.registry,
+            PrivacyConfig(row_by_row=False), session=session,
+        )
+        PrivacyComputer(
+            paper_tree, paper_db.registry,
+            PrivacyConfig(cache_queries=False), session=session,
+        )
+        assert session.computers_attached == 2
+
+    def test_cache_sizes_grow(self, paper_tree, paper_db, paper_example):
+        session = PrivacySession(paper_tree, paper_db.registry)
+        assert all(size == 0 for size in session.cache_sizes().values())
+        computer = PrivacyComputer(paper_tree, paper_db.registry, session=session)
+        computer.privacy(
+            _abstract(paper_tree, paper_example, {"h1": "Facebook"})
+        )
+        sizes = session.cache_sizes()
+        assert sizes["row_options"] > 0
+        assert sizes["prefix_queries"] > 0
+        assert sizes["connectivity"] > 0
+        assert sizes["connected_queries"] > 0
+        assert sizes["minimal_sets"] > 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_minimal_keys_match_reference(self, seed):
+        """The session-cached minimality scan must agree with the uncached
+        reference implementation on every connected-query set."""
+        from repro.core.privacy import _minimal_queries
+
+        db, example, tree = _random_instance(seed)
+        rng = random.Random(seed + 8000)
+        computer = PrivacyComputer(tree, db.registry)
+        for _ in range(3):
+            abstracted = _random_abstraction(example, tree, rng)
+            connected = computer._connected_queries_full(abstracted)
+            keys = computer._minimal_keys(connected)
+            reference = _minimal_queries(frozenset(connected.values()))
+            assert keys == frozenset(q.canonical() for q in reference)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_shared_vs_fresh(self, seed):
+        db, example, tree = _random_instance(seed)
+        rng = random.Random(seed + 7000)
+        session = PrivacySession(tree, db.registry)
+        shared = PrivacyComputer(tree, db.registry, session=session)
+        for _ in range(4):
+            abstracted = _random_abstraction(example, tree, rng)
+            fresh = PrivacyComputer(tree, db.registry)
+            assert shared.privacy(abstracted) == fresh.privacy(abstracted)
