@@ -7,7 +7,15 @@ with per-worker context caches and aggregate effort statistics.  See
 the CLI front-end.
 """
 
-from repro.batch.jobs import BatchJob, BatchJobResult
+from repro.batch.jobs import (
+    INLINE_SPEC_KEYS,
+    NAMED_SPEC_KEYS,
+    BatchJob,
+    BatchJobResult,
+    InlineContext,
+    InlineJob,
+    job_from_spec,
+)
 from repro.batch.optimizer import (
     BatchOptimizer,
     BatchResult,
@@ -18,12 +26,17 @@ from repro.batch.optimizer import (
 )
 
 __all__ = [
+    "INLINE_SPEC_KEYS",
+    "NAMED_SPEC_KEYS",
     "BatchJob",
     "BatchJobResult",
     "BatchOptimizer",
     "BatchResult",
     "BatchStats",
+    "InlineContext",
+    "InlineJob",
     "clear_worker_caches",
+    "job_from_spec",
     "run_batch",
     "run_job",
 ]

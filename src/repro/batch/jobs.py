@@ -7,6 +7,16 @@ without holding any live objects, so jobs cross process boundaries
 cheaply.  Workers rebuild the (database, example, tree) context from the
 spec and share it across the jobs they execute.
 
+An :class:`InlineJob` is the user-supplied counterpart: instead of a
+workload name it carries an :class:`InlineContext` — the ``optimize``
+subcommand's inputs (database, tree, query or K-example) serialized to
+canonical JSON text — so arbitrary jobs stay picklable and are cached by
+workers under a content hash exactly like the named contexts.
+
+:func:`job_from_spec` turns one JSON job spec (named or inline) into the
+matching job object, validating every key; it is the single parser behind
+``repro batch-optimize --jobs``, ``repro submit``, and the job service.
+
 A :class:`BatchJobResult` carries the outcome back the same way: scalars
 and the per-variable abstraction targets rather than live
 ``AbstractionFunction`` objects (rebuild one with :meth:`BatchJobResult.function`).
@@ -14,10 +24,14 @@ and the per-variable abstraction targets rather than live
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.optimizer import OptimizerConfig, OptimizerStats
+from repro.errors import JobSpecError
 
 
 @dataclass(frozen=True)
@@ -45,11 +59,236 @@ class BatchJob:
         return (self.query_name, self.n_rows, self.n_leaves, self.height)
 
 
+#: First element of an inline job's ``context_key`` — lets the worker
+#: context cache route it to the registered payload instead of the
+#: named-workload generator.
+INLINE_CONTEXT_TAG = "__inline__"
+
+
+def _canonical(data) -> str:
+    """Canonical JSON text, so equal payloads hash equally."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class InlineContext:
+    """A user-supplied (database, tree, query/K-example) job context.
+
+    The fields are canonical JSON *text* (plus the query's datalog text),
+    so the spec is hashable, picklable, and content-addressable:
+    :meth:`content_hash` keys the per-worker context and privacy-session
+    caches, meaning a stream of jobs over the same user data shares one
+    warm context exactly like the named workloads do.  Exactly one of
+    ``query`` / ``kexample_json`` must be set; :meth:`build` rebuilds the
+    live objects the same way ``repro optimize`` loads them.
+    """
+
+    database_json: str
+    tree_json: str
+    query: Optional[str] = None
+    kexample_json: Optional[str] = None
+    n_rows: int = 2
+
+    @classmethod
+    def from_objects(cls, database, tree, query=None, kexample=None,
+                     n_rows: int = 2) -> "InlineContext":
+        """Serialize live objects into a spec (inverse of :meth:`build`)."""
+        from repro.io.json_io import (
+            database_to_json, kexample_to_json, tree_to_json,
+        )
+
+        return cls(
+            database_json=_canonical(database_to_json(database)),
+            tree_json=_canonical(tree_to_json(tree)),
+            query=query,
+            kexample_json=(
+                _canonical(kexample_to_json(kexample))
+                if kexample is not None else None
+            ),
+            n_rows=n_rows,
+        )
+
+    def content_hash(self) -> str:
+        """Hex digest identifying this context's content."""
+        digest = hashlib.sha256()
+        for part in (self.database_json, self.tree_json, self.query or "",
+                     self.kexample_json or "", str(self.n_rows)):
+            digest.update(part.encode())
+            digest.update(b"\x1f")
+        return digest.hexdigest()
+
+    def build(self, settings):
+        """Rebuild the live context exactly as ``repro optimize`` does."""
+        from repro.experiments.runner import ExperimentContext
+        from repro.io.json_io import (
+            database_from_json, kexample_from_json, tree_from_json,
+        )
+        from repro.provenance.builder import build_kexample
+        from repro.query.parser import parse_cq
+
+        database = database_from_json(json.loads(self.database_json))
+        tree = tree_from_json(json.loads(self.tree_json))
+        query = parse_cq(self.query) if self.query else None
+        if self.kexample_json is not None:
+            example = kexample_from_json(json.loads(self.kexample_json), database)
+        else:
+            example = build_kexample(query, database, n_rows=self.n_rows)
+        return ExperimentContext(
+            query_name=f"inline:{self.content_hash()[:12]}",
+            query=query,
+            database=database,
+            example=example,
+            tree=tree,
+            settings=settings,
+        )
+
+
+@dataclass(frozen=True)
+class InlineJob:
+    """One optimal-abstraction search over a user-supplied context.
+
+    Mirrors :class:`BatchJob` (threshold, optional per-job config, tag)
+    but carries the whole context inline, so it runs through the same
+    workers, caches, and result type.
+    """
+
+    context: InlineContext
+    threshold: int
+    config: Optional[OptimizerConfig] = None
+    tag: str = ""
+
+    @property
+    def query_name(self) -> str:
+        """A stable label standing in for the workload name."""
+        return f"inline:{self.context.content_hash()[:12]}"
+
+    def context_key(self) -> tuple:
+        return (INLINE_CONTEXT_TAG, self.context.content_hash())
+
+
+#: Every key a named-workload job spec may carry.
+NAMED_SPEC_KEYS = frozenset({
+    "query_name", "threshold", "n_rows", "n_leaves", "height", "tag",
+    "max_candidates", "max_seconds",
+})
+
+#: Every key an inline-context job spec may carry.
+INLINE_SPEC_KEYS = frozenset({
+    "database", "tree", "query", "kexample", "threshold", "n_rows", "tag",
+    "max_candidates", "max_seconds",
+})
+
+
+def _as_int(value, key: str) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise JobSpecError(
+            f"{key!r} must be an integer, got {value!r}"
+        ) from None
+
+
+def _config_from_spec(
+    spec: dict, base_config: Optional[OptimizerConfig]
+) -> Optional[OptimizerConfig]:
+    """A per-job config when the spec sets budget keys, else ``None``.
+
+    Unset budget keys inherit from ``base_config`` (the settings-level
+    budgets), so a spec overriding only ``max_candidates`` keeps the
+    global ``max_seconds``.
+    """
+    if "max_candidates" not in spec and "max_seconds" not in spec:
+        return None
+    overrides: dict = {}
+    if "max_candidates" in spec:
+        overrides["max_candidates"] = _as_int(spec["max_candidates"], "max_candidates")
+    if "max_seconds" in spec:
+        try:
+            overrides["max_seconds"] = float(spec["max_seconds"])
+        except (TypeError, ValueError):
+            raise JobSpecError(
+                f"'max_seconds' must be a number, got {spec['max_seconds']!r}"
+            ) from None
+    return dataclasses.replace(base_config or OptimizerConfig(), **overrides)
+
+
+def job_from_spec(
+    spec: dict,
+    *,
+    default_rows: Optional[int] = None,
+    base_config: Optional[OptimizerConfig] = None,
+) -> "Union[BatchJob, InlineJob]":
+    """Build a job from one JSON spec, validating every key.
+
+    A spec with any of ``database``/``tree``/``query``/``kexample`` is an
+    inline-context job; otherwise it must name a workload via
+    ``query_name``.  Unknown keys raise :class:`JobSpecError` naming the
+    key (a typo must not silently run a default job), as do missing
+    required keys and mistyped values.
+    """
+    if not isinstance(spec, dict):
+        raise JobSpecError(
+            f"job spec must be a JSON object, got {type(spec).__name__}"
+        )
+    inline = any(k in spec for k in ("database", "tree", "query", "kexample"))
+    known = INLINE_SPEC_KEYS if inline else NAMED_SPEC_KEYS
+    for key in spec:
+        if key not in known:
+            kind = "inline" if inline else "named-workload"
+            raise JobSpecError(
+                f"unknown job-spec key {key!r} "
+                f"(known {kind} keys: {', '.join(sorted(known))})"
+            )
+    if "threshold" not in spec:
+        raise JobSpecError("job spec needs a 'threshold'")
+    threshold = _as_int(spec["threshold"], "threshold")
+    config = _config_from_spec(spec, base_config)
+    tag = str(spec.get("tag", ""))
+    n_rows = spec.get("n_rows", default_rows)
+    if n_rows is not None:
+        n_rows = _as_int(n_rows, "n_rows")
+
+    if inline:
+        missing = [k for k in ("database", "tree") if k not in spec]
+        if missing:
+            raise JobSpecError(
+                f"inline job spec needs {' and '.join(repr(k) for k in missing)}"
+            )
+        if ("query" in spec) == ("kexample" in spec):
+            raise JobSpecError(
+                "inline job spec needs exactly one of 'query' or 'kexample'"
+            )
+        context = InlineContext(
+            database_json=_canonical(spec["database"]),
+            tree_json=_canonical(spec["tree"]),
+            query=spec.get("query"),
+            kexample_json=(
+                _canonical(spec["kexample"]) if "kexample" in spec else None
+            ),
+            n_rows=n_rows if n_rows is not None else 2,
+        )
+        return InlineJob(
+            context=context, threshold=threshold, config=config, tag=tag
+        )
+
+    if "query_name" not in spec:
+        raise JobSpecError("job spec needs 'query_name' and 'threshold'")
+    return BatchJob(
+        query_name=str(spec["query_name"]),
+        threshold=threshold,
+        n_rows=n_rows,
+        n_leaves=spec.get("n_leaves"),
+        height=spec.get("height"),
+        config=config,
+        tag=tag,
+    )
+
+
 @dataclass
 class BatchJobResult:
     """The outcome of one batch job, in picklable scalar form."""
 
-    job: BatchJob
+    job: "Union[BatchJob, InlineJob]"
     found: bool = False
     loi: float = float("inf")
     privacy: int = -1
@@ -75,3 +314,25 @@ class BatchJobResult:
         if not self.found:
             return None
         return AbstractionFunction.uniform(tree, example, self.variable_targets)
+
+    def to_payload(self) -> dict:
+        """A JSON-ready dict of the full outcome, audit counters included.
+
+        Shared by ``batch-optimize --output`` and the job service's result
+        endpoint, so sweep results can always be audited for cache reuse
+        (``session_reused`` plus the :class:`OptimizerStats` counters).
+        """
+        return {
+            "query_name": self.job.query_name,
+            "threshold": self.job.threshold,
+            "tag": self.job.tag,
+            "found": self.found,
+            "privacy": self.privacy,
+            "loi": self.loi if self.found else None,
+            "edges_used": self.edges_used,
+            "seconds": self.seconds,
+            "variable_targets": self.variable_targets,
+            "session_reused": self.session_reused,
+            "stats": dataclasses.asdict(self.stats),
+            "error": self.error,
+        }

@@ -26,13 +26,21 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Optional, Sequence
 
-from repro.batch.jobs import BatchJob, BatchJobResult
+from repro.batch.jobs import (
+    INLINE_CONTEXT_TAG,
+    BatchJob,
+    BatchJobResult,
+    InlineContext,
+    InlineJob,
+)
 from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
 from repro.core.privacy import PrivacyConfig, PrivacySession
 from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
@@ -92,13 +100,42 @@ class BatchResult:
         return {r.job.tag: r for r in self.results if r.job.tag}
 
 
+# Serializes cold-path context/session resolution: ``lru_cache`` runs
+# its builder unlocked on concurrent misses, so without this two service
+# worker threads racing on a new context could each hold a *different*
+# context object than the one the cached session was built on — and trip
+# the session compatibility check.  Cache hits stay cheap.
+_cache_lock = threading.Lock()
+
+# Inline-context payloads by content hash.  ``context_key`` must stay a
+# small hashable tuple for the lru caches, so inline jobs register their
+# payload here (in whatever process runs them — the job object carries
+# it across pool boundaries) before the cache lookup resolves the hash.
+# Bounded: ``run_job`` re-registers the payload from the job object on
+# every call, so evicted entries reappear exactly when needed and a
+# long-lived service does not retain every database ever submitted.
+_inline_contexts: "OrderedDict[str, InlineContext]" = OrderedDict()
+_INLINE_REGISTRY_LIMIT = 64  # >= the lru maxsize below
+
+
+def _register_inline(context: InlineContext) -> None:
+    key = context.content_hash()
+    _inline_contexts[key] = _inline_contexts.pop(key, context)
+    while len(_inline_contexts) > _INLINE_REGISTRY_LIMIT:
+        _inline_contexts.popitem(last=False)
+
+
 @lru_cache(maxsize=32)
 def _cached_context(context_key: tuple, settings: ExperimentSettings):
     """Process-local (db, example, tree) cache shared across a worker's jobs.
 
     Keyed by :meth:`BatchJob.context_key` so the job spec stays the single
-    definition of what identifies a context.
+    definition of what identifies a context.  Inline jobs key by content
+    hash; their payload is resolved through the registry above.
     """
+    if context_key[0] == INLINE_CONTEXT_TAG:
+        return _inline_contexts[context_key[1]].build(settings)
+
     from repro.experiments.runner import prepare_context
 
     query_name, n_rows, n_leaves, height = context_key
@@ -139,20 +176,28 @@ def clear_worker_caches() -> None:
     this between batches to cap memory (worker processes die with their
     pool, so they never need it).
     """
-    _cached_session.cache_clear()
-    _cached_context.cache_clear()
+    with _cache_lock:
+        _cached_session.cache_clear()
+        _cached_context.cache_clear()
+        _inline_contexts.clear()
 
 
-def run_job(job: BatchJob, settings: ExperimentSettings) -> BatchJobResult:
+def run_job(
+    job: "BatchJob | InlineJob", settings: ExperimentSettings
+) -> BatchJobResult:
     """Execute one job; never raises (failures land in ``result.error``)."""
     try:
-        context = _cached_context(job.context_key(), settings)
         config = job.config or OptimizerConfig(
             max_candidates=settings.max_candidates,
             max_seconds=settings.max_seconds,
         )
-        session = _session_for(job.context_key(), config.privacy, settings)
-        session_reused = session.computers_attached > 0
+        with _cache_lock:
+            inline = getattr(job, "context", None)
+            if inline is not None:
+                _register_inline(inline)
+            context = _cached_context(job.context_key(), settings)
+            session = _session_for(job.context_key(), config.privacy, settings)
+            session_reused = session.computers_attached > 0
         start = time.perf_counter()
         result = find_optimal_abstraction(
             context.example, context.tree, job.threshold, config=config,

@@ -12,11 +12,19 @@ Subcommands
 -----------
 ``optimize``        find the optimal abstraction (Algorithm 2)
 ``batch-optimize``  run many optimizer jobs in parallel over the
-                    experiment workloads (``repro.batch``)
+                    experiment workloads or inline contexts (``repro.batch``)
+``serve``           run the long-lived job service (``repro.service``)
+``submit``          send jobs to a running service
+``poll``            poll job status/results or service stats
 ``privacy``         compute the privacy of a K-example / abstraction (Algorithm 1)
 ``attack``          list the CIM queries an adversary recovers
 ``evaluate``        run a query with provenance tracking
 ``show-tree``       pretty-print an abstraction tree
+
+Library errors (missing files, malformed JSON, bad job specs, an
+unreachable service) are reported as one-line ``error: ...`` messages
+with exit code 2; exit code 1 means the command ran but a search failed
+or found nothing.
 """
 
 from __future__ import annotations
@@ -30,14 +38,17 @@ from repro.abstraction.function import AbstractionFunction
 from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
 from repro.core.privacy import PrivacyComputer
 from repro.db.database import KDatabase
+from repro.errors import AbstractionError, JobSpecError, ReproError, SchemaError
 from repro.io.csv_io import database_from_csv_dir
 from repro.io.json_io import (
     abstraction_from_json,
     database_from_json,
+    database_to_json,
     dumps,
     kexample_from_json,
     result_to_json,
     tree_from_json,
+    tree_to_json,
 )
 from repro.provenance.builder import build_kexample
 from repro.query.evaluator import evaluate
@@ -45,23 +56,42 @@ from repro.query.parser import parse_cq
 from repro.render import render_kexample, render_query, render_result, render_tree
 
 
+def _read_json_file(path_text: str, what: str, error_cls=SchemaError):
+    """Read a JSON file, mapping I/O and syntax failures to repro errors."""
+    try:
+        with open(path_text) as handle:
+            return json.load(handle)
+    except OSError as exc:
+        raise error_cls(f"cannot read {what} {path_text!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise error_cls(
+            f"malformed {what} JSON in {path_text!r}: {exc}"
+        ) from None
+
+
 def _load_database(path_text: str) -> KDatabase:
     path = Path(path_text)
     if path.is_dir():
-        return database_from_csv_dir(path)
-    with open(path) as handle:
-        return database_from_json(json.load(handle))
+        try:
+            return database_from_csv_dir(path)
+        except OSError as exc:
+            raise SchemaError(
+                f"cannot read database directory {path_text!r}: {exc}"
+            ) from None
+    return database_from_json(_read_json_file(path_text, "database"))
 
 
 def _load_tree(path_text: str):
-    with open(path_text) as handle:
-        return tree_from_json(json.load(handle))
+    return tree_from_json(
+        _read_json_file(path_text, "tree", error_cls=AbstractionError)
+    )
 
 
 def _build_example(args, database: KDatabase):
     if args.kexample:
-        with open(args.kexample) as handle:
-            return kexample_from_json(json.load(handle), database)
+        return kexample_from_json(
+            _read_json_file(args.kexample, "K-example"), database
+        )
     query = parse_cq(args.query)
     return build_kexample(query, database, n_rows=args.rows)
 
@@ -94,10 +124,10 @@ def cmd_optimize(args) -> int:
     return 0 if result.found else 1
 
 
-def cmd_batch_optimize(args) -> int:
+def _settings_for(args):
+    """The experiment settings profile with CLI budget overrides applied."""
     import dataclasses
 
-    from repro.batch import BatchJob, BatchOptimizer
     from repro.experiments.settings import DEFAULT_SETTINGS, FAST_SETTINGS
 
     settings = FAST_SETTINGS if args.profile == "fast" else DEFAULT_SETTINGS
@@ -108,24 +138,68 @@ def cmd_batch_optimize(args) -> int:
         overrides["max_seconds"] = args.max_seconds
     if overrides:
         settings = dataclasses.replace(settings, **overrides)
+    return settings
 
+
+def _load_job_specs(path_text: str) -> list:
+    specs = _read_json_file(path_text, "job-spec", error_cls=JobSpecError)
+    if not isinstance(specs, list):
+        raise JobSpecError(
+            f"{path_text!r} must hold a JSON list of job specs"
+        )
+    return specs
+
+
+def _print_result_line(payload_or_result) -> None:
+    """One human line per job outcome (dict payload or BatchJobResult)."""
+    if isinstance(payload_or_result, dict):
+        p = payload_or_result
+        tag, name = p.get("tag"), p.get("query_name")
+        threshold = p.get("threshold")
+        found, error = p.get("found"), p.get("error")
+        privacy, loi = p.get("privacy"), p.get("loi")
+        edges, seconds = p.get("edges_used"), p.get("seconds", 0.0)
+        state = p.get("state")
+    else:
+        r = payload_or_result
+        tag, name, threshold = r.job.tag, r.job.query_name, r.job.threshold
+        found, error = r.found, r.error
+        privacy, loi = r.privacy, r.loi
+        edges, seconds = r.edges_used, r.seconds
+        state = None
+    label = tag or f"{name} k={threshold}"
+    if state == "cancelled":
+        print(f"{label}: CANCELLED")
+    elif error is not None:
+        print(f"{label}: FAILED ({error})")
+    elif found:
+        print(
+            f"{label}: privacy={privacy} loi={loi:.4f} "
+            f"edges={edges} in {seconds:.2f}s"
+        )
+    else:
+        print(f"{label}: no abstraction within budget ({seconds:.2f}s)")
+
+
+def cmd_batch_optimize(args) -> int:
+    from repro.batch import BatchJob, BatchOptimizer, job_from_spec
+
+    settings = _settings_for(args)
     if args.jobs:
-        with open(args.jobs) as handle:
-            specs = json.load(handle)
+        base_config = OptimizerConfig(
+            max_candidates=settings.max_candidates,
+            max_seconds=settings.max_seconds,
+        )
         jobs = []
-        for index, spec in enumerate(specs):
-            if "query_name" not in spec or "threshold" not in spec:
-                print(f"error: job {index} in {args.jobs} needs "
-                      f"'query_name' and 'threshold'", file=sys.stderr)
-                return 2
-            jobs.append(BatchJob(
-                query_name=spec["query_name"],
-                threshold=int(spec["threshold"]),
-                n_rows=spec.get("n_rows", args.rows),
-                n_leaves=spec.get("n_leaves"),
-                height=spec.get("height"),
-                tag=spec.get("tag", ""),
-            ))
+        for index, spec in enumerate(_load_job_specs(args.jobs)):
+            try:
+                jobs.append(job_from_spec(
+                    spec, default_rows=args.rows, base_config=base_config,
+                ))
+            except JobSpecError as exc:
+                raise JobSpecError(
+                    f"job {index} in {args.jobs}: {exc}"
+                ) from None
     else:
         jobs = [
             BatchJob(name, threshold, n_rows=args.rows)
@@ -137,40 +211,123 @@ def cmd_batch_optimize(args) -> int:
     batch = BatchOptimizer(settings, max_workers=workers).run(jobs)
 
     for result in batch.results:
-        job = result.job
-        label = job.tag or f"{job.query_name} k={job.threshold}"
-        if not result.ok:
-            print(f"{label}: FAILED ({result.error})")
-        elif result.found:
-            print(
-                f"{label}: privacy={result.privacy} loi={result.loi:.4f} "
-                f"edges={result.edges_used} in {result.seconds:.2f}s"
-            )
-        else:
-            print(f"{label}: no abstraction within budget "
-                  f"({result.seconds:.2f}s)")
+        _print_result_line(result)
     print(batch.stats.summary())
 
     if args.output:
-        payload = [
-            {
-                "query_name": r.job.query_name,
-                "threshold": r.job.threshold,
-                "tag": r.job.tag,
-                "found": r.found,
-                "privacy": r.privacy,
-                "loi": r.loi if r.found else None,
-                "edges_used": r.edges_used,
-                "seconds": r.seconds,
-                "variable_targets": r.variable_targets,
-                "error": r.error,
-            }
-            for r in batch.results
-        ]
+        payload = [r.to_payload() for r in batch.results]
         with open(args.output, "w") as handle:
             handle.write(dumps(payload))
         print(f"(written to {args.output})")
     return 0 if batch.stats.jobs_failed == 0 else 1
+
+
+def cmd_serve(args) -> int:
+    from repro.service.server import JobService, make_server
+
+    service = JobService(
+        settings=_settings_for(args),
+        worker_threads=args.workers,
+        max_queue=args.queue_size,
+        job_timeout=args.job_timeout,
+    ).start()
+    server = make_server(service, args.host, args.port, quiet=args.quiet)
+    host, port = server.server_address[:2]
+    print(
+        f"repro job service on http://{host}:{port} "
+        f"({args.workers} worker thread{'s' if args.workers != 1 else ''}, "
+        f"queue {args.queue_size})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.shutdown()
+    return 0
+
+
+def _inline_spec_from_args(args) -> dict:
+    """Build one inline job spec from ``submit``'s optimize-style flags."""
+    if not args.database or not args.tree or args.threshold is None:
+        raise JobSpecError(
+            "submit needs either --jobs or --database/--tree/--threshold "
+            "with one of --query/--kexample"
+        )
+    if (args.query is None) == (args.kexample is None):
+        raise JobSpecError(
+            "submit needs exactly one of --query or --kexample"
+        )
+    spec: dict = {
+        "database": database_to_json(_load_database(args.database)),
+        "tree": tree_to_json(_load_tree(args.tree)),
+        "threshold": args.threshold,
+        "n_rows": args.rows,
+    }
+    if args.kexample:
+        spec["kexample"] = _read_json_file(args.kexample, "K-example")
+    else:
+        spec["query"] = args.query
+    if args.tag:
+        spec["tag"] = args.tag
+    if args.max_candidates is not None:
+        spec["max_candidates"] = args.max_candidates
+    if args.max_seconds is not None:
+        spec["max_seconds"] = args.max_seconds
+    return spec
+
+
+def cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.server)
+    if args.jobs:
+        specs = _load_job_specs(args.jobs)
+    else:
+        specs = [_inline_spec_from_args(args)]
+    ids = client.submit(specs)
+    print(f"submitted {len(ids)} job{'s' if len(ids) != 1 else ''}: "
+          f"{', '.join(ids)}")
+    if not args.wait:
+        return 0
+
+    payloads = client.wait_all(
+        ids, timeout=args.timeout, interval=args.poll_interval
+    )
+    failures = 0
+    for payload in payloads:
+        _print_result_line(payload)
+        if payload.get("state") != "done" or payload.get("error"):
+            failures += 1
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(dumps(payloads))
+        print(f"(written to {args.output})")
+    return 0 if failures == 0 else 1
+
+
+def cmd_poll(args) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.server)
+    if args.stats:
+        print(dumps(client.stats()))
+        return 0
+    if not args.id:
+        raise JobSpecError("poll needs --id (one or more job ids) or --stats")
+    failures = 0
+    for job_id in args.id:
+        if args.wait:
+            payload = client.wait(
+                job_id, timeout=args.timeout, interval=args.poll_interval
+            )
+        else:
+            payload = client.status(job_id)
+        print(dumps(payload))
+        if payload.get("state") == "failed" or payload.get("error"):
+            failures += 1
+    return 0 if failures == 0 else 1
 
 
 def cmd_privacy(args) -> int:
@@ -251,8 +408,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="privacy thresholds; jobs are the queries x thresholds product",
     )
     p_batch.add_argument(
-        "--jobs", help="JSON file with a list of job specs "
-                       "(overrides --queries/--thresholds)",
+        "--jobs", help="JSON file with a list of job specs, named-workload "
+                       "or inline-context (overrides --queries/--thresholds)",
     )
     p_batch.add_argument("--rows", type=int, default=None,
                          help="K-example rows per job (with --jobs: the "
@@ -267,6 +424,73 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--max-seconds", type=float, default=None)
     p_batch.add_argument("--output", help="write per-job results JSON here")
     p_batch.set_defaults(func=cmd_batch_optimize)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived job service over repro.batch",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="listen port (0 = pick a free port)")
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="job worker threads; they share one in-process cache, so "
+             "1 (the default) maximizes warm-cache reuse",
+    )
+    p_serve.add_argument("--queue-size", type=int, default=64,
+                         help="pending-job bound; submissions beyond it "
+                              "are rejected with HTTP 503")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         help="per-job wall-clock cap in seconds (clamps "
+                              "each job's max_seconds budget)")
+    p_serve.add_argument("--profile", choices=("fast", "default"),
+                         default="fast", help="experiment settings profile")
+    p_serve.add_argument("--max-candidates", type=int, default=None)
+    p_serve.add_argument("--max-seconds", type=float, default=None)
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress per-request logging")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit jobs to a running job service",
+    )
+    p_submit.add_argument("--server", required=True,
+                          help="service base URL, e.g. http://127.0.0.1:8765")
+    p_submit.add_argument("--jobs",
+                          help="JSON file with a list of job specs "
+                               "(named-workload or inline-context)")
+    p_submit.add_argument("--database",
+                          help="CSV directory or JSON file (inline job)")
+    p_submit.add_argument("--tree", help="tree JSON file (inline job)")
+    p_submit.add_argument("--query", help="datalog CQ text (inline job)")
+    p_submit.add_argument("--kexample",
+                          help="K-example JSON file (inline job)")
+    p_submit.add_argument("--threshold", type=int, help="privacy threshold "
+                                                        "(inline job)")
+    p_submit.add_argument("--rows", type=int, default=2,
+                          help="K-example rows when building from a query")
+    p_submit.add_argument("--tag", default="")
+    p_submit.add_argument("--max-candidates", type=int, default=None)
+    p_submit.add_argument("--max-seconds", type=float, default=None)
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until every job finishes")
+    p_submit.add_argument("--timeout", type=float, default=300.0)
+    p_submit.add_argument("--poll-interval", type=float, default=0.2)
+    p_submit.add_argument("--output",
+                          help="with --wait: write result payloads here")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_poll = sub.add_parser(
+        "poll", help="poll job status/results or service stats",
+    )
+    p_poll.add_argument("--server", required=True)
+    p_poll.add_argument("--id", nargs="+", default=[], help="job ids")
+    p_poll.add_argument("--stats", action="store_true",
+                        help="print the service stats instead")
+    p_poll.add_argument("--wait", action="store_true",
+                        help="block until each job is terminal")
+    p_poll.add_argument("--timeout", type=float, default=300.0)
+    p_poll.add_argument("--poll-interval", type=float, default=0.2)
+    p_poll.set_defaults(func=cmd_poll)
 
     p_priv = sub.add_parser("privacy", help="privacy of a (possibly abstracted) K-example")
     _add_common(p_priv)
@@ -293,7 +517,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -37,3 +37,11 @@ class SemiringError(ReproError):
 
 class OptimizationError(ReproError):
     """The optimizer was configured inconsistently or exhausted its budget."""
+
+
+class JobSpecError(ReproError):
+    """A batch/service job spec is malformed (unknown or missing fields)."""
+
+
+class ServiceError(ReproError):
+    """The job service rejected a request or could not be reached."""

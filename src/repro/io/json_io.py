@@ -32,7 +32,7 @@ from repro.abstraction.tree import AbstractionTree, TreeNode
 from repro.core.optimizer import OptimalAbstractionResult
 from repro.db.database import KDatabase
 from repro.db.schema import Schema
-from repro.errors import SchemaError
+from repro.errors import AbstractionError, SchemaError
 from repro.provenance.kexample import KExample, KExampleRow
 
 
@@ -87,14 +87,20 @@ def tree_to_json(tree: AbstractionTree) -> dict:
 
 def tree_from_json(data: dict) -> AbstractionTree:
     """Rebuild a (frozen) abstraction tree from nested dicts."""
-    tree = AbstractionTree(str(data["label"]))
 
-    def build(parent_label: str, children: list[dict]) -> None:
+    def build(tree: AbstractionTree, parent_label: str,
+              children: list[dict]) -> None:
         for child in children:
             tree.add_node(str(child["label"]), parent_label)
-            build(str(child["label"]), child.get("children", []))
+            build(tree, str(child["label"]), child.get("children", []))
 
-    build(str(data["label"]), data.get("children", []))
+    try:
+        tree = AbstractionTree(str(data["label"]))
+        build(tree, str(data["label"]), data.get("children", []))
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise AbstractionError(
+            f"malformed tree JSON: {type(exc).__name__}: {exc}"
+        ) from None
     return tree.freeze()
 
 
@@ -111,10 +117,15 @@ def kexample_to_json(example: KExample) -> dict:
 
 
 def kexample_from_json(data: dict, database: KDatabase) -> KExample:
-    rows = [
-        KExampleRow(tuple(entry["output"]), list(entry["provenance"]))
-        for entry in data["rows"]
-    ]
+    try:
+        rows = [
+            KExampleRow(tuple(entry["output"]), list(entry["provenance"]))
+            for entry in data["rows"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise SchemaError(
+            f"malformed K-example JSON: {type(exc).__name__}: {exc}"
+        ) from None
     return KExample(rows, database.registry)
 
 

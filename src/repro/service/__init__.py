@@ -1,0 +1,38 @@
+"""Long-lived job service over :mod:`repro.batch`.
+
+``repro serve`` starts an HTTP+JSON server whose worker threads keep the
+per-process context and privacy-session caches warm across requests;
+``repro submit`` / ``repro poll`` (backed by :class:`ServiceClient`) feed
+it job streams.  See ``docs/PERFORMANCE.md`` ("Job service") for the
+endpoints and the reuse counters.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.server import (
+    JobService,
+    JobServiceHandler,
+    make_server,
+)
+from repro.service.state import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    TERMINAL_STATES,
+    JobRecord,
+)
+
+__all__ = [
+    "JOB_CANCELLED",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobService",
+    "JobServiceHandler",
+    "ServiceClient",
+    "make_server",
+]

@@ -1,0 +1,143 @@
+"""A small HTTP client for the job service.
+
+Used by the ``repro submit`` / ``repro poll`` CLI subcommands and the
+tests; stdlib-only (``urllib``).  Every failure — unreachable server,
+HTTP error status, malformed body — surfaces as
+:class:`repro.errors.ServiceError` so CLI callers map it to exit code 2
+like any other library error.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Sequence
+
+from repro.errors import ServiceError
+from repro.service.state import JOB_CANCELLED, TERMINAL_STATES
+
+
+class ServiceClient:
+    """Talks JSON to a running :class:`repro.service.JobService`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self._base = base_url.rstrip("/")
+        self._timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        return self._base
+
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self._base + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as resp:
+                body = resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode(errors="replace")
+            try:
+                message = json.loads(raw).get("error", raw)
+            except (json.JSONDecodeError, AttributeError):
+                message = raw or exc.reason
+            raise ServiceError(
+                f"{method} {path} failed ({exc.code}): {message}"
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach job service at {self._base}: {exc.reason}"
+            ) from None
+        try:
+            return json.loads(body) if body else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"malformed response from {method} {path}: {exc}"
+            ) from None
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def submit(self, specs: Sequence[dict]) -> list[str]:
+        """Submit job specs (named or inline); returns the job ids."""
+        return self._request("POST", "/jobs", payload=list(specs))["ids"]
+
+    def list_jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> bool:
+        return self._request("POST", f"/jobs/{job_id}/cancel")["cancelled"]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        interval: float = 0.2,
+    ) -> dict:
+        """Poll until ``job_id`` is terminal; return its result payload.
+
+        A cancelled job returns its status payload (it has no result).
+        Raises :class:`ServiceError` when ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                if status["state"] == JOB_CANCELLED:
+                    return status
+                return self.result(job_id)
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s waiting for {job_id} "
+                    f"(state: {status['state']})"
+                )
+            time.sleep(interval)
+
+    def wait_all(
+        self,
+        job_ids: Sequence[str],
+        timeout: float = 300.0,
+        interval: float = 0.2,
+    ) -> list[dict]:
+        """Wait for every id (shared deadline); payloads in input order."""
+        deadline = time.monotonic() + timeout
+        payloads = []
+        for job_id in job_ids:
+            remaining = max(0.0, deadline - time.monotonic())
+            payloads.append(self.wait(job_id, timeout=remaining, interval=interval))
+        return payloads
+
+    def wait_until_healthy(
+        self, timeout: float = 30.0, interval: float = 0.2
+    ) -> None:
+        """Block until ``/healthz`` answers (server startup helper)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.health()
+                return
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"job service at {self._base} did not become "
+                        f"healthy within {timeout:.0f}s"
+                    ) from None
+                time.sleep(interval)

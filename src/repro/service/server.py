@@ -1,0 +1,404 @@
+"""A long-lived job service over :mod:`repro.batch`.
+
+The CLI's ``batch-optimize`` is one-shot: every invocation pays context
+generation and privacy-session warmup again.  :class:`JobService` keeps
+those caches alive instead — jobs arrive as a stream (HTTP+JSON), run on
+persistent worker threads *in one process*, and therefore share the
+per-process context cache and :class:`~repro.core.privacy.PrivacySession`
+cache in ``repro.batch.optimizer`` across requests.  The amortization is
+observable: the ``/stats`` endpoint reports ``sessions_reused`` (jobs
+that attached to a privacy session warmed by an earlier request) next to
+the aggregate search counters.
+
+Endpoints (all JSON):
+
+================================  =============================================
+``POST /jobs``                    submit one spec or a list (named-workload or
+                                  inline-context, see ``job_from_spec``);
+                                  returns ``{"ids": [...]}``; 400 on a bad
+                                  spec, 503 when the queue is full
+``GET /jobs``                     status summaries of every known job
+``GET /jobs/<id>``                one job's status summary
+``GET /jobs/<id>/result``         full result once terminal, else 409
+``POST /jobs/<id>/cancel``        cancel a still-queued job
+``GET /stats``                    queue depth + aggregate counters, including
+                                  ``sessions_reused``
+``GET /healthz``                  liveness probe
+================================  =============================================
+
+Per-job timeouts: a service-level ``job_timeout`` clamps every job's
+``max_seconds`` budget (the search returns its best-so-far when it
+trips), so one runaway job cannot starve the stream.  Backpressure: the
+queue is bounded; submissions beyond it are rejected rather than queued
+without limit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from queue import Empty, Queue
+from typing import Optional, Sequence
+
+from repro.batch.jobs import job_from_spec
+from repro.batch.optimizer import run_job
+from repro.core.optimizer import OptimizerConfig
+from repro.errors import JobSpecError, ServiceError
+from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+from repro.service.state import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobRecord,
+)
+
+
+class JobService:
+    """The queue + worker-thread pool behind the HTTP front-end.
+
+    ``worker_threads=1`` (the default) runs jobs strictly in submission
+    order — deterministic, and every job sees the caches its
+    predecessors warmed.  More threads trade determinism for throughput;
+    ``worker_threads=0`` starts no workers, leaving execution to explicit
+    :meth:`run_next` calls (how the tests drive the queue).
+
+    ``max_queue`` bounds pending jobs (submissions beyond it raise
+    :class:`ServiceError` — HTTP 503); ``job_timeout`` caps any single
+    job's ``max_seconds`` search budget.
+    """
+
+    def __init__(
+        self,
+        settings: ExperimentSettings = DEFAULT_SETTINGS,
+        worker_threads: int = 1,
+        max_queue: int = 64,
+        job_timeout: Optional[float] = None,
+    ):
+        self._settings = settings
+        self._worker_threads = max(0, worker_threads)
+        self._job_timeout = job_timeout
+        # Capacity is enforced on the *queued-record count*, not the
+        # Queue's maxsize: a cancelled job leaves a stale id in the Queue
+        # (workers skip it) but frees its capacity slot immediately.
+        self._max_queue = max_queue
+        self._queue: "Queue[Optional[str]]" = Queue()
+        self._lock = threading.Lock()
+        self._records: dict[str, JobRecord] = {}
+        self._threads: list[threading.Thread] = []
+        self._ids = itertools.count(1)
+        self._started_monotonic = time.monotonic()
+        # Aggregates over completed jobs (mirrors BatchStats' reuse/effort
+        # counters, accumulated as the stream drains).
+        self._job_seconds = 0.0
+        self._sessions_reused = 0
+        self._candidates_scanned = 0
+        self._privacy_computations = 0
+        self._row_option_cache_hits = 0
+        self._row_option_cache_misses = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "JobService":
+        """Spawn the worker threads (idempotent)."""
+        with self._lock:
+            while len(self._threads) < self._worker_threads:
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-job-worker-{len(self._threads)}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the workers after they finish their current job."""
+        threads, self._threads = self._threads, []
+        for _ in threads:
+            self._queue.put(None)
+        for thread in threads:
+            thread.join(timeout)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, job) -> str:
+        """Enqueue one built job; raises :class:`ServiceError` when full."""
+        with self._lock:
+            if 0 < self._max_queue <= self._queued_count():
+                raise ServiceError(
+                    f"job queue is full ({self._max_queue} pending); "
+                    f"poll for results and retry"
+                )
+            job_id = f"job-{next(self._ids):06d}"
+            self._records[job_id] = JobRecord(job_id=job_id, job=job)
+        self._queue.put(job_id)
+        return job_id
+
+    def _queued_count(self) -> int:
+        return sum(
+            1 for r in self._records.values() if r.state == JOB_QUEUED
+        )
+
+    def submit_specs(self, specs: Sequence[dict]) -> list[str]:
+        """Validate all specs first, then enqueue them in order.
+
+        Validation failures (:class:`JobSpecError`) reject the whole
+        batch before anything is queued; a queue-full rejection mid-batch
+        reports how many jobs were accepted.
+        """
+        jobs = [
+            self._attach_spec_context(index, spec)
+            for index, spec in enumerate(specs)
+        ]
+        ids: list[str] = []
+        try:
+            for job in jobs:
+                ids.append(self.submit(job))
+        except ServiceError as exc:
+            raise ServiceError(
+                f"{exc} (accepted {len(ids)} of {len(jobs)} jobs"
+                f"{': ' + ', '.join(ids) if ids else ''})"
+            ) from None
+        return ids
+
+    def _attach_spec_context(self, index: int, spec: dict):
+        try:
+            return job_from_spec(
+                spec,
+                default_rows=self._settings.kexample_rows,
+                base_config=self._base_config(),
+            )
+        except JobSpecError as exc:
+            raise JobSpecError(f"job {index}: {exc}") from None
+
+    def _base_config(self) -> OptimizerConfig:
+        return OptimizerConfig(
+            max_candidates=self._settings.max_candidates,
+            max_seconds=self._settings.max_seconds,
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def record(self, job_id: str) -> JobRecord:
+        with self._lock:
+            return self._records[job_id]  # KeyError -> 404 upstream
+
+    def status_payload(self, job_id: str) -> dict:
+        with self._lock:
+            return self._records[job_id].status_payload()
+
+    def list_payload(self) -> list[dict]:
+        with self._lock:
+            return [r.status_payload() for r in self._records.values()]
+
+    def result_payload(self, job_id: str) -> tuple[int, dict]:
+        """(HTTP status, payload): 200 once terminal, else 409."""
+        with self._lock:
+            record = self._records[job_id]
+            if record.state in (JOB_QUEUED, JOB_RUNNING):
+                return 409, {"id": job_id, "state": record.state}
+            return 200, record.result_payload()
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; running/terminal jobs are not preempted."""
+        with self._lock:
+            record = self._records[job_id]
+            if record.state != JOB_QUEUED:
+                return False
+            record.state = JOB_CANCELLED
+            record.finished_at = time.time()
+            return True
+
+    def stats_payload(self) -> dict:
+        with self._lock:
+            states = [r.state for r in self._records.values()]
+            return {
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "worker_threads": self._worker_threads,
+                "queue_capacity": self._max_queue,
+                "queue_depth": states.count(JOB_QUEUED),
+                "jobs_submitted": len(states),
+                "jobs_running": states.count(JOB_RUNNING),
+                "jobs_done": states.count(JOB_DONE),
+                "jobs_failed": states.count(JOB_FAILED),
+                "jobs_cancelled": states.count(JOB_CANCELLED),
+                "job_seconds": self._job_seconds,
+                "sessions_reused": self._sessions_reused,
+                "candidates_scanned": self._candidates_scanned,
+                "privacy_computations": self._privacy_computations,
+                "row_option_cache_hits": self._row_option_cache_hits,
+                "row_option_cache_misses": self._row_option_cache_misses,
+            }
+
+    # -- execution ---------------------------------------------------------
+
+    def run_next(self) -> bool:
+        """Pop and execute one queue entry synchronously (test hook).
+
+        Returns ``False`` when the queue is empty.  A cancelled entry is
+        consumed (and counts as processed) without running anything.
+        """
+        try:
+            job_id = self._queue.get_nowait()
+        except Empty:
+            return False
+        if job_id is None:
+            return False
+        self._run_one(job_id)
+        return True
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            try:
+                self._run_one(job_id)
+            except Exception as exc:  # noqa: BLE001 - workers must survive
+                with self._lock:
+                    record = self._records.get(job_id)
+                    if record is not None and record.state == JOB_RUNNING:
+                        record.state = JOB_FAILED
+                        record.error = f"{type(exc).__name__}: {exc}"
+                        record.finished_at = time.time()
+
+    def _effective_job(self, job):
+        """The job with ``max_seconds`` clamped to the service timeout."""
+        if self._job_timeout is None:
+            return job
+        config = job.config or self._base_config()
+        max_seconds = (
+            self._job_timeout if config.max_seconds is None
+            else min(config.max_seconds, self._job_timeout)
+        )
+        return dataclasses.replace(
+            job, config=dataclasses.replace(config, max_seconds=max_seconds)
+        )
+
+    def _run_one(self, job_id: str) -> None:
+        with self._lock:
+            record = self._records[job_id]
+            if record.state != JOB_QUEUED:
+                return  # cancelled while waiting
+            record.state = JOB_RUNNING
+            record.started_at = time.time()
+        result = run_job(self._effective_job(record.job), self._settings)
+        with self._lock:
+            record.result = result
+            record.finished_at = time.time()
+            record.state = JOB_DONE if result.ok else JOB_FAILED
+            if result.ok:
+                self._job_seconds += result.seconds
+                self._sessions_reused += int(result.session_reused)
+                self._candidates_scanned += result.stats.candidates_scanned
+                self._privacy_computations += result.stats.privacy_computations
+                self._row_option_cache_hits += result.stats.row_option_cache_hits
+                self._row_option_cache_misses += (
+                    result.stats.row_option_cache_misses
+                )
+
+
+class JobServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto a bound :class:`JobService`."""
+
+    service: JobService  # bound by make_server
+    quiet = True
+    server_version = "repro-service/1.0"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _parts(self) -> list[str]:
+        return [p for p in self.path.split("?", 1)[0].split("/") if p]
+
+    def _send(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        return json.loads(raw) if raw else None
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parts = self._parts()
+        try:
+            if parts == ["healthz"]:
+                self._send(200, {"ok": True})
+            elif parts == ["stats"]:
+                self._send(200, self.service.stats_payload())
+            elif parts == ["jobs"]:
+                self._send(200, {"jobs": self.service.list_payload()})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._send(200, self.service.status_payload(parts[1]))
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                code, payload = self.service.result_payload(parts[1])
+                self._send(code, payload)
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+        except KeyError:
+            self._send(404, {"error": f"unknown job {parts[1]!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        parts = self._parts()
+        try:
+            if parts == ["jobs"]:
+                data = self._read_json()
+                if isinstance(data, dict) and "jobs" in data:
+                    data = data["jobs"]
+                specs = [data] if isinstance(data, dict) else data
+                if not isinstance(specs, list) or not specs:
+                    self._send(400, {
+                        "error": "POST /jobs expects a job spec object "
+                                 "or a non-empty list of specs",
+                    })
+                    return
+                self._send(200, {"ids": self.service.submit_specs(specs)})
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                cancelled = self.service.cancel(parts[1])
+                self._send(200, {"id": parts[1], "cancelled": cancelled})
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+        except KeyError:
+            self._send(404, {"error": f"unknown job {parts[1]!r}"})
+        except json.JSONDecodeError as exc:
+            self._send(400, {"error": f"malformed JSON body: {exc}"})
+        except JobSpecError as exc:
+            self._send(400, {"error": str(exc)})
+        except ServiceError as exc:
+            self._send(503, {"error": str(exc)})
+
+
+def make_server(
+    service: JobService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """An HTTP server bound to ``service`` (port 0 picks a free port).
+
+    Bind failures (port in use, bad host) surface as
+    :class:`ServiceError` so CLI callers report them as one-line errors.
+    """
+    handler = type(
+        "BoundJobServiceHandler",
+        (JobServiceHandler,),
+        {"service": service, "quiet": quiet},
+    )
+    try:
+        server = ThreadingHTTPServer((host, port), handler)
+    except OSError as exc:
+        raise ServiceError(f"cannot bind {host}:{port}: {exc}") from None
+    server.daemon_threads = True
+    return server

@@ -1,0 +1,73 @@
+"""Job states and records shared by the service server and client.
+
+Kept dependency-light so :mod:`repro.service.client` can import the state
+vocabulary without pulling in the server (or the optimizer stack behind
+it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({JOB_DONE, JOB_FAILED, JOB_CANCELLED})
+
+
+@dataclass
+class JobRecord:
+    """One submitted job's lifecycle inside the service.
+
+    ``result`` is the :class:`repro.batch.BatchJobResult` once the job ran
+    (its ``error`` field holds per-job search failures); ``error`` here is
+    reserved for service-level failures around the run itself.
+    """
+
+    job_id: str
+    job: object  # BatchJob | InlineJob
+    state: str = JOB_QUEUED
+    result: Optional[object] = None
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def status_payload(self) -> dict:
+        """The JSON-ready status summary (no heavy result fields)."""
+        payload: dict = {
+            "id": self.job_id,
+            "state": self.state,
+            "query_name": self.job.query_name,
+            "threshold": self.job.threshold,
+            "tag": self.job.tag,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.result is not None:
+            payload.update(
+                found=self.result.found,
+                privacy=self.result.privacy,
+                seconds=self.result.seconds,
+                session_reused=self.result.session_reused,
+                error=self.result.error,
+            )
+        return payload
+
+    def result_payload(self) -> dict:
+        """The full JSON-ready outcome (terminal states only)."""
+        payload = {"id": self.job_id, "state": self.state}
+        if self.result is not None:
+            payload.update(self.result.to_payload())
+        elif self.error is not None:
+            payload["error"] = self.error
+        return payload

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.batch import BatchJob, BatchOptimizer, run_batch
+from repro.batch import BatchJob, BatchOptimizer, InlineContext, InlineJob, run_batch
 from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
 from repro.errors import OptimizationError
 from repro.experiments.runner import prepare_context, run_sweep
@@ -153,6 +153,62 @@ class TestSessionSharing:
             if direct.found:
                 function = result.function(context.tree, context.example)
                 assert function.assignment == direct.function.assignment
+
+
+class TestInlineJobs:
+    """User-supplied contexts run through the same workers and caches."""
+
+    QUERY = (
+        "Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', s1),"
+        " Interests(id, 'Music', s2)"
+    )
+
+    def _context(self):
+        from repro.examples_data import running_example_db, running_example_tree
+
+        return InlineContext.from_objects(
+            running_example_db(), running_example_tree(),
+            query=self.QUERY, n_rows=2,
+        )
+
+    def test_inline_matches_direct_search(self):
+        context = self._context()
+        batch = run_batch([InlineJob(context, 2)], TINY, max_workers=1)
+        result = batch.results[0]
+        assert result.ok and result.found
+
+        built = context.build(TINY)
+        direct = find_optimal_abstraction(built.example, built.tree, 2)
+        assert result.loi == direct.loi
+        assert result.privacy == direct.privacy
+        function = result.function(built.tree, built.example)
+        assert function.assignment == direct.function.assignment
+
+    def test_inline_jobs_cross_process_boundaries(self):
+        """The payload travels with the job, so pools can run it."""
+        context = self._context()
+        jobs = [InlineJob(context, 2), InlineJob(context, 3)]
+        serial = run_batch(jobs, TINY, max_workers=1)
+        parallel = run_batch(jobs, TINY, max_workers=2)
+        assert parallel.stats.jobs_failed == 0
+        for s, p in zip(serial.results, parallel.results):
+            assert (s.found, s.loi, s.privacy) == (p.found, p.loi, p.privacy)
+            assert s.variable_targets == p.variable_targets
+
+    def test_inline_jobs_share_a_session(self):
+        from repro.examples_data import running_example_db, running_example_tree
+
+        # A renamed variable gives the context a process-unique hash, so
+        # the warm/cold pattern is deterministic (see TestSessionSharing).
+        context = InlineContext.from_objects(
+            running_example_db(), running_example_tree(),
+            query=self.QUERY.replace("age", "yrs"),
+        )
+        jobs = [InlineJob(context, k) for k in (2, 3)]
+        batch = run_batch(jobs, TINY, max_workers=1)
+        assert all(r.ok for r in batch.results)
+        assert [r.session_reused for r in batch.results] == [False, True]
+        assert batch.stats.sessions_reused == 1
 
 
 class TestStats:

@@ -110,6 +110,180 @@ class TestBatchOptimize:
         assert "FAILED" in capsys.readouterr().out
 
 
+class TestJobsFileValidation:
+    def test_unknown_spec_key_exits_2_naming_it(self, tmp_path, capsys):
+        """A typo like 'treshold' must not silently run a default job."""
+        (tmp_path / "jobs.json").write_text(json.dumps([
+            {"query_name": "TPCH-Q3", "treshold": 2},
+        ]))
+        code = main([
+            "batch-optimize",
+            "--jobs", str(tmp_path / "jobs.json"),
+            "--workers", "1",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "treshold" in err
+        assert "job 0" in err
+
+    def test_missing_required_keys_exit_2(self, tmp_path, capsys):
+        (tmp_path / "jobs.json").write_text(json.dumps([{"threshold": 2}]))
+        code = main([
+            "batch-optimize",
+            "--jobs", str(tmp_path / "jobs.json"),
+            "--workers", "1",
+        ])
+        assert code == 2
+        assert "query_name" in capsys.readouterr().err
+
+    def test_non_list_jobs_file_exits_2(self, tmp_path, capsys):
+        (tmp_path / "jobs.json").write_text(json.dumps({"query_name": "x"}))
+        code = main([
+            "batch-optimize",
+            "--jobs", str(tmp_path / "jobs.json"),
+            "--workers", "1",
+        ])
+        assert code == 2
+        assert "list" in capsys.readouterr().err
+
+    def test_per_spec_budgets_build_per_job_config(self, tmp_path, capsys):
+        """--jobs specs can set max_candidates/max_seconds per job."""
+        (tmp_path / "jobs.json").write_text(json.dumps([
+            {"query_name": "TPCH-Q3", "threshold": 2,
+             "max_candidates": 1, "tag": "tight"},
+        ]))
+        code = main([
+            "batch-optimize",
+            "--jobs", str(tmp_path / "jobs.json"),
+            "--workers", "1",
+            "--max-seconds", "10",
+            "--output", str(tmp_path / "out.json"),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads((tmp_path / "out.json").read_text())[0]
+        assert payload["stats"]["candidates_scanned"] <= 2
+        # The global --max-seconds override is inherited by the spec config.
+        assert payload["error"] is None
+
+    def test_output_includes_session_reused_and_stats(self, tmp_path, capsys):
+        code = main([
+            "batch-optimize",
+            "--queries", "TPCH-Q3",
+            "--thresholds", "2", "3",
+            "--workers", "1",
+            "--max-candidates", "200",
+            "--max-seconds", "10",
+            "--output", str(tmp_path / "batch.json"),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        results = json.loads((tmp_path / "batch.json").read_text())
+        assert all("session_reused" in r for r in results)
+        for r in results:
+            assert r["stats"]["candidates_scanned"] > 0
+            assert "row_option_cache_hits" in r["stats"]
+
+    def test_inline_spec_in_jobs_file(self, workspace, tmp_path, capsys):
+        """batch-optimize --jobs accepts inline-context specs too."""
+        (tmp_path / "jobs.json").write_text(json.dumps([{
+            "database": json.loads((workspace / "db.json").read_text()),
+            "tree": json.loads((workspace / "tree.json").read_text()),
+            "query": QUERY,
+            "threshold": 2,
+            "tag": "inline",
+        }]))
+        code = main([
+            "batch-optimize",
+            "--jobs", str(tmp_path / "jobs.json"),
+            "--workers", "1",
+        ])
+        assert code == 0
+        assert "inline: privacy=2" in capsys.readouterr().out
+
+
+class TestLoaderErrors:
+    """CLI loaders map I/O and JSON failures to exit code 2, no tracebacks."""
+
+    def test_missing_database_file(self, workspace, capsys):
+        code = main([
+            "optimize",
+            "--database", str(workspace / "nope.json"),
+            "--tree", str(workspace / "tree.json"),
+            "--query", QUERY,
+            "--threshold", "2",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "database" in err
+
+    def test_malformed_database_json(self, workspace, capsys):
+        (workspace / "bad.json").write_text("{not json")
+        code = main([
+            "optimize",
+            "--database", str(workspace / "bad.json"),
+            "--tree", str(workspace / "tree.json"),
+            "--query", QUERY,
+            "--threshold", "2",
+        ])
+        assert code == 2
+        assert "malformed database JSON" in capsys.readouterr().err
+
+    def test_missing_tree_file(self, workspace, capsys):
+        code = main([
+            "optimize",
+            "--database", str(workspace / "db.json"),
+            "--tree", str(workspace / "no_tree.json"),
+            "--query", QUERY,
+            "--threshold", "2",
+        ])
+        assert code == 2
+        assert "tree" in capsys.readouterr().err
+
+    def test_malformed_tree_structure(self, workspace, capsys):
+        (workspace / "bad_tree.json").write_text(json.dumps({"nolabel": 1}))
+        code = main([
+            "optimize",
+            "--database", str(workspace / "db.json"),
+            "--tree", str(workspace / "bad_tree.json"),
+            "--query", QUERY,
+            "--threshold", "2",
+        ])
+        assert code == 2
+        assert "malformed tree JSON" in capsys.readouterr().err
+
+    def test_missing_kexample_file(self, workspace, capsys):
+        code = main([
+            "optimize",
+            "--database", str(workspace / "db.json"),
+            "--tree", str(workspace / "tree.json"),
+            "--kexample", str(workspace / "no_example.json"),
+            "--threshold", "2",
+        ])
+        assert code == 2
+        assert "K-example" in capsys.readouterr().err
+
+    def test_serve_port_in_use_exits_2(self, capsys):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+            code = main(["serve", "--port", str(port)])
+        assert code == 2
+        assert "cannot bind" in capsys.readouterr().err
+
+    def test_unreachable_service_exits_2(self, capsys):
+        code = main([
+            "poll",
+            "--server", "http://127.0.0.1:1",  # nothing listens here
+            "--stats",
+        ])
+        assert code == 2
+        assert "cannot reach job service" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_privacy_identity(self, workspace, capsys):
         code = main([
