@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Smoke-test service durability end to end, as CI runs it.
+
+Starts ``repro serve --store``, submits a mid-stream of jobs, then
+**kills the server without warning** (SIGKILL — no graceful shutdown)
+and restarts it on the same store.  The restarted service must:
+
+* recover every submitted job — completed ones served from the store,
+  interrupted/queued ones re-enqueued and finished — with results equal
+  to the direct ``find_optimal_abstraction`` answer, and
+* answer a content-identical resubmission from the result cache
+  (``cache_hit`` set, payload bit-identical apart from that marker)
+  without running the optimizer again.
+
+Run from the repo root: ``python scripts/store_smoke.py``.
+"""
+
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.optimizer import find_optimal_abstraction  # noqa: E402
+from repro.examples_data import (  # noqa: E402
+    running_example_db,
+    running_example_tree,
+)
+from repro.io.json_io import database_to_json, tree_to_json  # noqa: E402
+from repro.provenance.builder import build_kexample  # noqa: E402
+from repro.query.parser import parse_cq  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+QUERY = (
+    "Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', s1),"
+    " Interests(id, 'Music', s2)"
+)
+
+THRESHOLDS = (2, 3, 4)
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def start_server(store_path: str, port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", str(port), "--quiet", "--store", store_path],
+        env=env, cwd=REPO_ROOT,
+    )
+
+
+def payload_core(payload: dict) -> dict:
+    """A result payload reduced to its content (no identity/audit fields)."""
+    return {k: v for k, v in payload.items()
+            if k not in ("id", "tag", "cache_hit")}
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="repro-store-smoke-")
+    store_path = os.path.join(workdir, "jobs.db")
+    spec = {
+        "database": database_to_json(running_example_db()),
+        "tree": tree_to_json(running_example_tree()),
+        "query": QUERY,
+    }
+    server = None
+    try:
+        # Life 1: submit a stream, then die mid-stream with no warning.
+        # The client's connection retry absorbs the serve startup race —
+        # no explicit wait_until_healthy needed before submitting.
+        port = free_port()
+        server = start_server(store_path, port)
+        client = ServiceClient(f"http://127.0.0.1:{port}",
+                               connect_retries=8, retry_backoff=0.25)
+        ids = client.submit([
+            {**spec, "threshold": k, "tag": f"k{k}"} for k in THRESHOLDS
+        ])
+        assert len(ids) == len(THRESHOLDS), ids
+        server.kill()  # SIGKILL: whatever was running dies mid-search
+        server.wait(timeout=10)
+
+        # Life 2: same store, fresh process — every job must finish.
+        port = free_port()
+        server = start_server(store_path, port)
+        client = ServiceClient(f"http://127.0.0.1:{port}",
+                               connect_retries=8, retry_backoff=0.25)
+        payloads = client.wait_all(ids, timeout=120)
+        for payload in payloads:
+            assert payload["state"] == "done", payload
+            assert payload["found"], payload
+
+        example = build_kexample(
+            parse_cq(QUERY), running_example_db(), n_rows=2
+        )
+        for threshold, payload in zip(THRESHOLDS, payloads):
+            direct = find_optimal_abstraction(
+                example, running_example_tree(), threshold
+            )
+            assert payload["privacy"] == direct.privacy, payload
+            assert payload["loi"] == direct.loi, payload
+
+        # Dedup across restarts: a content-identical resubmission is a
+        # cache hit with the same payload, optimizer untouched.
+        stats_before = client.stats()
+        resubmitted = client.submit([{**spec, "threshold": THRESHOLDS[0],
+                                      "tag": "again"}])
+        again = client.wait(resubmitted[0], timeout=60)
+        assert again["cache_hit"] is True, again
+        assert payload_core(again) == payload_core(payloads[0]), (
+            again, payloads[0]
+        )
+        stats = client.stats()
+        assert stats["cache_hits"] >= stats_before.get("cache_hits", 0) + 1
+        assert stats["jobs_recovered"] >= len(THRESHOLDS), stats
+        assert stats["results_stored"] >= len(THRESHOLDS), stats
+
+        print(
+            f"store smoke OK: {len(ids)} jobs survived a SIGKILL restart, "
+            f"{stats['jobs_recovered']} recovered, "
+            f"{stats['jobs_requeued']} requeued, "
+            f"{stats['cache_hits']} cache hits, "
+            f"{stats['results_stored']} results in {os.path.basename(store_path)}"
+        )
+        return 0
+    finally:
+        if server is not None:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

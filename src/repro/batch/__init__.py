@@ -15,6 +15,7 @@ from repro.batch.jobs import (
     InlineContext,
     InlineJob,
     job_from_spec,
+    job_to_spec,
 )
 from repro.batch.optimizer import (
     BatchOptimizer,
@@ -37,6 +38,7 @@ __all__ = [
     "InlineJob",
     "clear_worker_caches",
     "job_from_spec",
+    "job_to_spec",
     "run_batch",
     "run_job",
 ]

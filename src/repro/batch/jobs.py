@@ -25,13 +25,14 @@ and the per-variable abstraction targets rather than live
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.core.optimizer import OptimizerConfig, OptimizerStats
 from repro.errors import JobSpecError
+from repro.store.hashing import canonical_json, hash_parts
 
 
 @dataclass(frozen=True)
@@ -65,9 +66,9 @@ class BatchJob:
 INLINE_CONTEXT_TAG = "__inline__"
 
 
-def _canonical(data) -> str:
-    """Canonical JSON text, so equal payloads hash equally."""
-    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+# Canonical JSON text, so equal payloads hash equally (the shared
+# definition in repro.store.hashing, which the result cache keys on too).
+_canonical = canonical_json
 
 
 @dataclass(frozen=True)
@@ -109,13 +110,22 @@ class InlineContext:
         )
 
     def content_hash(self) -> str:
-        """Hex digest identifying this context's content."""
-        digest = hashlib.sha256()
-        for part in (self.database_json, self.tree_json, self.query or "",
-                     self.kexample_json or "", str(self.n_rows)):
-            digest.update(part.encode())
-            digest.update(b"\x1f")
-        return digest.hexdigest()
+        """Hex digest identifying this context's content.
+
+        Memoized on the instance (all inputs are frozen): with a store
+        attached the hash is consulted on submit persistence, cache
+        lookup, cache store, and every ``query_name`` in a status
+        listing, and re-digesting a multi-megabyte database JSON each
+        time would put linear work on the service's hot path.
+        """
+        digest = self.__dict__.get("_content_hash")
+        if digest is None:
+            digest = hash_parts(
+                self.database_json, self.tree_json, self.query or "",
+                self.kexample_json or "", str(self.n_rows),
+            )
+            object.__setattr__(self, "_content_hash", digest)
+        return digest
 
     def build(self, settings):
         """Rebuild the live context exactly as ``repro optimize`` does."""
@@ -284,6 +294,43 @@ def job_from_spec(
     )
 
 
+def job_to_spec(job: "Union[BatchJob, InlineJob]") -> dict:
+    """Serialize a job back into a JSON spec (inverse of :func:`job_from_spec`).
+
+    This is what the persistent job store writes, so a queued job
+    survives a restart as re-parseable input: for any spec-built job,
+    ``job_from_spec(job_to_spec(job), base_config=same_base)`` rebuilds
+    an equal job.  A hand-built ``config`` is represented by its budget
+    keys (``max_candidates``/``max_seconds``) — the only config fields a
+    spec can express; ``None`` budgets are omitted, matching the spec
+    grammar, which has no null values.
+    """
+    spec: dict = {"threshold": job.threshold}
+    context = getattr(job, "context", None)
+    if context is not None:
+        spec["database"] = json.loads(context.database_json)
+        spec["tree"] = json.loads(context.tree_json)
+        if context.query is not None:
+            spec["query"] = context.query
+        else:
+            spec["kexample"] = json.loads(context.kexample_json)
+        spec["n_rows"] = context.n_rows
+    else:
+        spec["query_name"] = job.query_name
+        for key in ("n_rows", "n_leaves", "height"):
+            value = getattr(job, key)
+            if value is not None:
+                spec[key] = value
+    if job.tag:
+        spec["tag"] = job.tag
+    if job.config is not None:
+        if job.config.max_candidates is not None:
+            spec["max_candidates"] = job.config.max_candidates
+        if job.config.max_seconds is not None:
+            spec["max_seconds"] = job.config.max_seconds
+    return spec
+
+
 @dataclass
 class BatchJobResult:
     """The outcome of one batch job, in picklable scalar form."""
@@ -301,6 +348,9 @@ class BatchJobResult:
     # Whether this job attached to a privacy session already warmed by an
     # earlier job of the same worker (same context + privacy switches).
     session_reused: bool = False
+    # Whether this result was served from the content-addressed result
+    # cache (repro.store) instead of running the optimizer.
+    cache_hit: bool = False
     error: Optional[str] = None
 
     @property
@@ -328,11 +378,48 @@ class BatchJobResult:
             "tag": self.job.tag,
             "found": self.found,
             "privacy": self.privacy,
-            "loi": self.loi if self.found else None,
+            # JSON has no Infinity: an unbounded LOI (nothing found)
+            # crosses as null and from_payload restores math.inf.
+            "loi": self.loi if math.isfinite(self.loi) else None,
             "edges_used": self.edges_used,
             "seconds": self.seconds,
             "variable_targets": self.variable_targets,
             "session_reused": self.session_reused,
+            "cache_hit": self.cache_hit,
             "stats": dataclasses.asdict(self.stats),
             "error": self.error,
         }
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict, job: "Union[BatchJob, InlineJob]"
+    ) -> "BatchJobResult":
+        """Rebuild a result from :meth:`to_payload` output, losslessly.
+
+        ``job`` supplies the spec side (the payload carries only its
+        display fields); everything else round-trips bit-identically —
+        ``to_payload()`` of the rebuilt result equals ``payload``.  The
+        :class:`OptimizerStats` counters are matched by field name so a
+        payload written by a newer code version (extra counters) still
+        loads; absent counters keep their zero defaults.
+        """
+        known = {f.name for f in dataclasses.fields(OptimizerStats)}
+        stats = OptimizerStats(**{
+            key: value
+            for key, value in (payload.get("stats") or {}).items()
+            if key in known
+        })
+        loi = payload.get("loi")
+        return cls(
+            job=job,
+            found=bool(payload.get("found", False)),
+            loi=math.inf if loi is None else loi,
+            privacy=payload.get("privacy", -1),
+            edges_used=payload.get("edges_used", 0),
+            seconds=payload.get("seconds", 0.0),
+            stats=stats,
+            variable_targets=dict(payload.get("variable_targets") or {}),
+            session_reused=bool(payload.get("session_reused", False)),
+            cache_hit=bool(payload.get("cache_hit", False)),
+            error=payload.get("error"),
+        )

@@ -43,6 +43,7 @@ from repro.batch.jobs import (
 )
 from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
 from repro.core.privacy import PrivacyConfig, PrivacySession
+from repro.errors import ReproError
 from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
 
 
@@ -68,6 +69,10 @@ class BatchStats:
     sessions_reused: int = 0
     row_option_cache_hits: int = 0
     row_option_cache_misses: int = 0
+    # Jobs served straight from the persistent result cache (repro.store)
+    # without running the optimizer at all; their effort counters stay
+    # out of the aggregates above — no search happened this run.
+    cache_hits: int = 0
 
     @property
     def parallel_speedup(self) -> float:
@@ -85,7 +90,8 @@ class BatchStats:
             f"({self.parallel_speedup:.1f}x), "
             f"{self.candidates_scanned} candidates, "
             f"{self.privacy_computations} privacy computations, "
-            f"{self.sessions_reused} warm-session jobs"
+            f"{self.sessions_reused} warm-session jobs, "
+            f"{self.cache_hits} result-cache hits"
         )
 
 
@@ -180,12 +186,54 @@ def clear_worker_caches() -> None:
         _cached_session.cache_clear()
         _cached_context.cache_clear()
         _inline_contexts.clear()
+        _result_cache_for.cache_clear()
+
+
+@lru_cache(maxsize=8)
+def _result_cache_for(pid: int, store_path: str):
+    """One :class:`ResultCache` connection per (process, store path).
+
+    Worker processes receive the store *path* (a picklable string) and
+    open their own SQLite connection on first use; WAL journaling in
+    :class:`~repro.store.jobstore.JobStore` lets them all append results
+    concurrently.  The pid in the key matters under the ``fork`` start
+    method: a child inherits the parent's populated cache, and reusing a
+    connection across fork is corruption-prone per SQLite — a fresh pid
+    forces a fresh connection instead.
+    """
+    from repro.store import JobStore, ResultCache
+
+    return ResultCache(JobStore(store_path))
+
+
+def _cached_result_cache(store_path: str):
+    return _result_cache_for(os.getpid(), store_path)
 
 
 def run_job(
-    job: "BatchJob | InlineJob", settings: ExperimentSettings
+    job: "BatchJob | InlineJob",
+    settings: ExperimentSettings,
+    store_path: "str | None" = None,
 ) -> BatchJobResult:
-    """Execute one job; never raises (failures land in ``result.error``)."""
+    """Execute one job; never raises (failures land in ``result.error``).
+
+    With ``store_path``, the persistent result cache is consulted first:
+    a hit skips the search entirely (``result.cache_hit``), a miss runs
+    it and persists the payload for every later identical job.  An
+    unopenable store degrades to running uncached — callers that want a
+    loud failure on a bad path validate it up front, as
+    :class:`BatchOptimizer` does.
+    """
+    cache = None
+    if store_path:
+        try:
+            cache = _cached_result_cache(store_path)
+        except ReproError:
+            cache = None
+    if cache is not None:
+        hit = cache.lookup(job, settings)
+        if hit is not None:
+            return hit
     try:
         config = job.config or OptimizerConfig(
             max_candidates=settings.max_candidates,
@@ -209,7 +257,7 @@ def run_job(
             for (row_idx, occ_idx), target in result.function.assignment.items():
                 source = context.example.rows[row_idx].occurrences[occ_idx]
                 targets[source] = target
-        return BatchJobResult(
+        outcome = BatchJobResult(
             job=job,
             found=result.found,
             loi=result.loi,
@@ -220,6 +268,9 @@ def run_job(
             variable_targets=targets,
             session_reused=session_reused,
         )
+        if cache is not None:
+            cache.store_result(job, settings, outcome)
+        return outcome
     except Exception as exc:  # noqa: BLE001 - report, don't kill the pool
         return BatchJobResult(job=job, error=f"{type(exc).__name__}: {exc}")
 
@@ -232,14 +283,26 @@ class BatchOptimizer:
     ``max_workers=None`` uses every core.  Workers are plain processes,
     so per-job budgets (``max_candidates``/``max_seconds``) are the
     isolation mechanism against runaway searches.
+
+    ``store_path`` names a persistent result-cache file (see
+    :mod:`repro.store`): every worker consults it before searching and
+    persists fresh results into it, so repeated sweeps — across
+    invocations, not just within one — do each distinct job once.
     """
 
     def __init__(
         self,
         settings: ExperimentSettings = DEFAULT_SETTINGS,
         max_workers: Optional[int] = None,
+        store_path: Optional[str] = None,
     ):
         self._settings = settings
+        self._store_path = store_path
+        if store_path is not None:
+            # Fail loudly on an unopenable path *now*: run_job degrades
+            # to uncached execution, which would silently discard every
+            # result the user asked to persist.
+            _cached_result_cache(store_path)
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         self._max_workers = max(1, max_workers)
@@ -254,11 +317,14 @@ class BatchOptimizer:
         workers = min(self._max_workers, max(1, len(jobs)))
         start = time.perf_counter()
         if workers == 1:
-            results = [run_job(job, self._settings) for job in jobs]
+            results = [
+                run_job(job, self._settings, self._store_path) for job in jobs
+            ]
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
-                    pool.submit(run_job, job, self._settings) for job in jobs
+                    pool.submit(run_job, job, self._settings, self._store_path)
+                    for job in jobs
                 ]
                 results = [future.result() for future in futures]
         wall = time.perf_counter() - start
@@ -270,6 +336,11 @@ class BatchOptimizer:
                 continue
             if result.found:
                 stats.jobs_found += 1
+            if result.cache_hit:
+                # No search ran: the payload's counters describe the
+                # original (cached) run, not effort spent here.
+                stats.cache_hits += 1
+                continue
             stats.job_seconds += result.seconds
             stats.candidates_scanned += result.stats.candidates_scanned
             stats.privacy_computations += result.stats.privacy_computations
@@ -287,6 +358,9 @@ def run_batch(
     jobs: Sequence[BatchJob],
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     max_workers: Optional[int] = None,
+    store_path: Optional[str] = None,
 ) -> BatchResult:
     """Convenience wrapper: one-shot :class:`BatchOptimizer` run."""
-    return BatchOptimizer(settings, max_workers=max_workers).run(jobs)
+    return BatchOptimizer(
+        settings, max_workers=max_workers, store_path=store_path
+    ).run(jobs)

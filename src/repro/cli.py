@@ -13,9 +13,12 @@ Subcommands
 ``optimize``        find the optimal abstraction (Algorithm 2)
 ``batch-optimize``  run many optimizer jobs in parallel over the
                     experiment workloads or inline contexts (``repro.batch``)
-``serve``           run the long-lived job service (``repro.service``)
+``serve``           run the long-lived job service (``repro.service``);
+                    ``--store PATH`` makes it durable and dedup-ing
 ``submit``          send jobs to a running service
 ``poll``            poll job status/results or service stats
+``jobs``            inspect or prune a persistent job store
+                    (``list`` / ``show`` / ``gc``, see ``repro.store``)
 ``privacy``         compute the privacy of a K-example / abstraction (Algorithm 1)
 ``attack``          list the CIM queries an adversary recovers
 ``evaluate``        run a query with provenance tracking
@@ -208,7 +211,9 @@ def cmd_batch_optimize(args) -> int:
         ]
 
     workers = args.workers if args.workers > 0 else None
-    batch = BatchOptimizer(settings, max_workers=workers).run(jobs)
+    batch = BatchOptimizer(
+        settings, max_workers=workers, store_path=args.store
+    ).run(jobs)
 
     for result in batch.results:
         _print_result_line(result)
@@ -224,12 +229,15 @@ def cmd_batch_optimize(args) -> int:
 
 def cmd_serve(args) -> int:
     from repro.service.server import JobService, make_server
+    from repro.store import JobStore
 
+    store = JobStore(args.store) if args.store else None
     service = JobService(
         settings=_settings_for(args),
         worker_threads=args.workers,
         max_queue=args.queue_size,
         job_timeout=args.job_timeout,
+        store=store,
     ).start()
     server = make_server(service, args.host, args.port, quiet=args.quiet)
     host, port = server.server_address[:2]
@@ -238,6 +246,13 @@ def cmd_serve(args) -> int:
         f"({args.workers} worker thread{'s' if args.workers != 1 else ''}, "
         f"queue {args.queue_size})"
     )
+    if store is not None:
+        stats = service.stats_payload()
+        print(
+            f"job store {store.path}: {stats['jobs_recovered']} jobs "
+            f"recovered, {stats['jobs_requeued']} requeued, "
+            f"{stats['results_stored']} results cached"
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -328,6 +343,81 @@ def cmd_poll(args) -> int:
         if payload.get("state") == "failed" or payload.get("error"):
             failures += 1
     return 0 if failures == 0 else 1
+
+
+def _open_store(path_text: str):
+    """Open an *existing* job store (inspection must not create files)."""
+    from repro.errors import ServiceError
+    from repro.store import JobStore
+
+    if path_text != ":memory:" and not Path(path_text).exists():
+        raise ServiceError(f"no job store at {path_text!r}")
+    return JobStore(path_text)
+
+
+def cmd_jobs_list(args) -> int:
+    store = _open_store(args.store)
+    jobs = store.list_jobs(state=args.state)
+    for stored in jobs:
+        label = stored.spec.get("tag") or stored.label
+        print(
+            f"{stored.job_id}  {stored.state:<9}  {label} "
+            f"k={stored.spec.get('threshold')}  "
+            f"hash={stored.content_hash[:12]}"
+        )
+    suffix = f" in state {args.state!r}" if args.state else ""
+    n_results = store.result_count()
+    print(f"({len(jobs)} job{'s' if len(jobs) != 1 else ''}{suffix}, "
+          f"{n_results} cached result{'s' if n_results != 1 else ''})")
+    return 0
+
+
+def cmd_jobs_show(args) -> int:
+    from repro.errors import ServiceError
+
+    store = _open_store(args.store)
+    stored = store.get_job(args.id)
+    if stored is None:
+        raise ServiceError(f"unknown job {args.id!r} in {args.store!r}")
+    payload = {
+        "id": stored.job_id,
+        "state": stored.state,
+        "content_hash": stored.content_hash,
+        "spec": stored.spec,
+        "error": stored.error,
+        "submitted_at": stored.submitted_at,
+        "started_at": stored.started_at,
+        "finished_at": stored.finished_at,
+        # peek: inspecting a job must not mark its result recently used.
+        "result": store.peek_result(stored.content_hash),
+    }
+    print(dumps(payload))
+    return 0
+
+
+def cmd_jobs_gc(args) -> int:
+    from repro.errors import ServiceError
+
+    if (args.keep_results is None and args.keep_days is None
+            and not args.drop_jobs):
+        raise ServiceError(
+            "jobs gc needs at least one of --keep-results, --keep-days, "
+            "or --drop-jobs"
+        )
+    store = _open_store(args.store)
+    counts = store.gc(
+        keep_results=args.keep_results,
+        max_age_days=args.keep_days,
+        drop_terminal_jobs=args.drop_jobs,
+    )
+    print(
+        f"gc {args.store}: deleted {counts['results_deleted']} result"
+        f"{'s' if counts['results_deleted'] != 1 else ''} and "
+        f"{counts['jobs_deleted']} job record"
+        f"{'s' if counts['jobs_deleted'] != 1 else ''}; "
+        f"{store.result_count()} results remain"
+    )
+    return 0
 
 
 def cmd_privacy(args) -> int:
@@ -423,6 +513,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--max-candidates", type=int, default=None)
     p_batch.add_argument("--max-seconds", type=float, default=None)
     p_batch.add_argument("--output", help="write per-job results JSON here")
+    p_batch.add_argument("--store", default=None,
+                         help="persistent result-cache file: identical jobs "
+                              "are served from it instead of re-searching, "
+                              "across runs (see repro.store)")
     p_batch.set_defaults(func=cmd_batch_optimize)
 
     p_serve = sub.add_parser(
@@ -448,6 +542,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-seconds", type=float, default=None)
     p_serve.add_argument("--quiet", action="store_true",
                          help="suppress per-request logging")
+    p_serve.add_argument("--store", default=None,
+                         help="SQLite job-store file: jobs and results "
+                              "persist across restarts, and identical jobs "
+                              "are answered from the result cache")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -491,6 +589,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_poll.add_argument("--timeout", type=float, default=300.0)
     p_poll.add_argument("--poll-interval", type=float, default=0.2)
     p_poll.set_defaults(func=cmd_poll)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="inspect or prune a persistent job store",
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+
+    p_jlist = jobs_sub.add_parser("list", help="list persisted job records")
+    p_jlist.add_argument("--store", required=True, help="job-store file")
+    p_jlist.add_argument("--state", default=None,
+                         help="only this state (queued/running/done/"
+                              "failed/cancelled)")
+    p_jlist.set_defaults(func=cmd_jobs_list)
+
+    p_jshow = jobs_sub.add_parser(
+        "show", help="one job's record and cached result payload",
+    )
+    p_jshow.add_argument("id", help="job id, e.g. job-000001")
+    p_jshow.add_argument("--store", required=True, help="job-store file")
+    p_jshow.set_defaults(func=cmd_jobs_show)
+
+    p_jgc = jobs_sub.add_parser(
+        "gc", help="prune old results and terminal job records",
+    )
+    p_jgc.add_argument("--store", required=True, help="job-store file")
+    p_jgc.add_argument("--keep-results", type=int, default=None,
+                       help="keep only the N most-recently-used results")
+    p_jgc.add_argument("--keep-days", type=float, default=None,
+                       help="drop results unused (and terminal job records "
+                            "finished) more than N days ago")
+    p_jgc.add_argument("--drop-jobs", action="store_true",
+                       help="also drop every done/failed/cancelled job "
+                            "record (cached results stay)")
+    p_jgc.set_defaults(func=cmd_jobs_gc)
 
     p_priv = sub.add_parser("privacy", help="privacy of a (possibly abstracted) K-example")
     _add_common(p_priv)

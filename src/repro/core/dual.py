@@ -94,6 +94,7 @@ def find_dual_optimal_abstraction(
             config.max_seconds is not None
             and time.perf_counter() - start_time > config.max_seconds
         ):
+            stats.stopped_by_wall_clock = True
             break
         stats.candidates_scanned += 1
 

@@ -83,6 +83,10 @@ class OptimizerStats:
     # row-option sets served from the shared cache vs enumerated fresh.
     row_option_cache_hits: int = 0
     row_option_cache_misses: int = 0
+    # True iff the scan stopped because ``max_seconds`` ran out — the one
+    # outcome that depends on machine speed rather than the inputs (the
+    # persistent result cache refuses to store such results).
+    stopped_by_wall_clock: bool = False
 
 
 @dataclass
@@ -360,6 +364,7 @@ def find_optimal_abstraction(
             config.max_seconds is not None
             and time.perf_counter() - start_time > config.max_seconds
         ):
+            stats.stopped_by_wall_clock = True
             break
         stats.candidates_scanned += 1
 

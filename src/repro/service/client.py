@@ -20,11 +20,29 @@ from repro.service.state import JOB_CANCELLED, TERMINAL_STATES
 
 
 class ServiceClient:
-    """Talks JSON to a running :class:`repro.service.JobService`."""
+    """Talks JSON to a running :class:`repro.service.JobService`.
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    A refused connection (the request never left this process) is
+    retried with exponential backoff (``connect_retries`` extra attempts
+    starting at ``retry_backoff`` seconds): ``repro submit`` typically
+    races the ``repro serve`` process it was started after, and
+    retrying a connection that was never made is safe for any method,
+    POSTs included.  Resets, read timeouts, and HTTP error statuses are
+    never retried — the server may have accepted the request or made a
+    decision.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        connect_retries: int = 4,
+        retry_backoff: float = 0.1,
+    ):
         self._base = base_url.rstrip("/")
         self._timeout = timeout
+        self._connect_retries = max(0, connect_retries)
+        self._retry_backoff = retry_backoff
 
     @property
     def base_url(self) -> str:
@@ -39,22 +57,36 @@ class ServiceClient:
         request = urllib.request.Request(
             self._base + path, data=data, headers=headers, method=method
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self._timeout) as resp:
-                body = resp.read().decode()
-        except urllib.error.HTTPError as exc:
-            raw = exc.read().decode(errors="replace")
+        for attempt in range(self._connect_retries + 1):
             try:
-                message = json.loads(raw).get("error", raw)
-            except (json.JSONDecodeError, AttributeError):
-                message = raw or exc.reason
-            raise ServiceError(
-                f"{method} {path} failed ({exc.code}): {message}"
-            ) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach job service at {self._base}: {exc.reason}"
-            ) from None
+                with urllib.request.urlopen(
+                    request, timeout=self._timeout
+                ) as resp:
+                    body = resp.read().decode()
+                break
+            except urllib.error.HTTPError as exc:
+                raw = exc.read().decode(errors="replace")
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except (json.JSONDecodeError, AttributeError):
+                    message = raw or exc.reason
+                raise ServiceError(
+                    f"{method} {path} failed ({exc.code}): {message}"
+                ) from None
+            except urllib.error.URLError as exc:
+                # Retry only a refused connection: that alone guarantees
+                # the request never reached the server.  A reset or
+                # broken pipe can happen *after* the server accepted a
+                # POST (died before answering), and a read timeout
+                # (also a URLError) may mean it is still working —
+                # retrying either could duplicate the job.
+                refused = isinstance(exc.reason, ConnectionRefusedError)
+                if refused and attempt < self._connect_retries:
+                    time.sleep(self._retry_backoff * (2 ** attempt))
+                    continue
+                raise ServiceError(
+                    f"cannot reach job service at {self._base}: {exc.reason}"
+                ) from None
         try:
             return json.loads(body) if body else {}
         except json.JSONDecodeError as exc:

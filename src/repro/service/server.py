@@ -31,6 +31,15 @@ Per-job timeouts: a service-level ``job_timeout`` clamps every job's
 trips), so one runaway job cannot starve the stream.  Backpressure: the
 queue is bounded; submissions beyond it are rejected rather than queued
 without limit.
+
+Durability: with a :class:`repro.store.JobStore` attached (``repro serve
+--store PATH``), every accepted job is persisted (spec, content hash,
+lifecycle state) and every clean result payload is stored
+content-addressed.  A restarted service recovers the store on startup —
+completed results are served again, queued *and* interrupted running
+jobs are re-enqueued — and the worker loop consults the result cache
+before every search, so a job content-identical to any earlier one (this
+process or a previous life) returns instantly with ``cache_hit`` set.
 """
 
 from __future__ import annotations
@@ -38,13 +47,14 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import json
+import sqlite3
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from queue import Empty, Queue
 from typing import Optional, Sequence
 
-from repro.batch.jobs import job_from_spec
+from repro.batch.jobs import BatchJobResult, job_from_spec, job_to_spec
 from repro.batch.optimizer import run_job
 from repro.core.optimizer import OptimizerConfig
 from repro.errors import JobSpecError, ServiceError
@@ -57,6 +67,20 @@ from repro.service.state import (
     JOB_RUNNING,
     JobRecord,
 )
+from repro.store import JobStore, ResultCache, job_content_hash
+
+
+class _UnparseableJob:
+    """Stand-in for a recovered job whose stored spec no longer parses.
+
+    Carries just the display fields the status payload needs, so the
+    record stays listable while its failure explains itself.
+    """
+
+    def __init__(self, stored):
+        self.query_name = stored.label
+        self.threshold = stored.spec.get("threshold", -1)
+        self.tag = str(stored.spec.get("tag", ""))
 
 
 class JobService:
@@ -70,7 +94,10 @@ class JobService:
 
     ``max_queue`` bounds pending jobs (submissions beyond it raise
     :class:`ServiceError` — HTTP 503); ``job_timeout`` caps any single
-    job's ``max_seconds`` search budget.
+    job's ``max_seconds`` search budget.  ``store`` attaches a
+    :class:`repro.store.JobStore` for durability and cross-restart result
+    dedup (recovery runs synchronously in the constructor, before any
+    worker starts).
     """
 
     def __init__(
@@ -79,6 +106,7 @@ class JobService:
         worker_threads: int = 1,
         max_queue: int = 64,
         job_timeout: Optional[float] = None,
+        store: Optional[JobStore] = None,
     ):
         self._settings = settings
         self._worker_threads = max(0, worker_threads)
@@ -101,6 +129,13 @@ class JobService:
         self._privacy_computations = 0
         self._row_option_cache_hits = 0
         self._row_option_cache_misses = 0
+        self._cache_hits = 0
+        self._store = store
+        self._cache = ResultCache(store) if store is not None else None
+        self._recovered_jobs = 0
+        self._requeued_jobs = 0
+        if store is not None:
+            self._recover()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -125,6 +160,152 @@ class JobService:
         for thread in threads:
             thread.join(timeout)
 
+    # -- durability --------------------------------------------------------
+
+    def _content_hash(self, job) -> str:
+        """The canonical hash of the *effective* job (timeout clamped).
+
+        Hashing after the clamp keeps submit-time persistence and
+        run-time cache lookups on the same key, and stops a cached
+        result computed under one ``job_timeout`` from answering a job
+        that would run under another.
+        """
+        return job_content_hash(self._effective_job(job), self._settings)
+
+    def _persist_submit(self, job_id: str, seq: int, job) -> None:
+        """Persist one accepted job (called *outside* the service lock).
+
+        Hashing a large inline payload and committing to SQLite are the
+        slow parts of a submission; doing them after the lock is
+        released keeps status/stats/worker traffic flowing.  The record
+        is inserted as queued, then re-checked: a cancel that raced the
+        insert (possible once the id is listable) is re-applied so the
+        store never resurrects a cancelled job on restart.
+        """
+        if self._store is None:
+            return
+        try:
+            self._store.record_job(
+                job_id, seq, self._content_hash(job), job_to_spec(job),
+                JOB_QUEUED,
+            )
+            with self._lock:
+                record = self._records[job_id]
+                state, finished_at = record.state, record.finished_at
+            if state != JOB_QUEUED:
+                self._store.update_job(
+                    job_id, state, finished_at=finished_at
+                )
+        except sqlite3.Error:
+            pass  # durability is best-effort; serving continues
+
+    def _persist_state(self, job_id: str, state: str, **times) -> None:
+        if self._store is None:
+            return
+        try:
+            self._store.update_job(job_id, state, **times)
+        except sqlite3.Error:
+            pass
+
+    def _recover(self) -> None:
+        """Rebuild records from the store; re-enqueue unfinished jobs.
+
+        Completed jobs come back with their results attached (the
+        content-addressed payload), so ``GET /jobs/<id>/result`` keeps
+        answering across restarts; queued jobs — and running ones, whose
+        previous process died mid-search — are re-enqueued in their
+        original submission order, provided the rebuilt job still hashes
+        to the submitted content hash (otherwise the job fails visibly
+        rather than re-running as something else).  Job ids continue
+        from the highest persisted sequence number, so recovered and new
+        ids never clash.
+        """
+        stored_jobs = self._store.list_jobs()
+        self._ids = itertools.count(self._store.max_seq() + 1)
+        for stored in stored_jobs:
+            try:
+                job = job_from_spec(
+                    stored.spec,
+                    default_rows=self._settings.kexample_rows,
+                    base_config=self._base_config(),
+                )
+            except JobSpecError as exc:
+                # A spec this code version cannot parse (version drift)
+                # becomes a visible failure, not a silent drop.
+                record = JobRecord(
+                    job_id=stored.job_id, job=_UnparseableJob(stored),
+                    state=JOB_FAILED,
+                    error=f"unrecoverable job spec: {exc}",
+                    submitted_at=stored.submitted_at,
+                    finished_at=stored.finished_at or stored.submitted_at,
+                )
+                self._records[stored.job_id] = record
+                self._recovered_jobs += 1  # rebuilt, just not runnable
+                # Persist the failure: leaving the row queued would make
+                # it ungarbage-collectable and re-report it every boot.
+                self._persist_state(
+                    stored.job_id, JOB_FAILED,
+                    error=record.error, finished_at=record.finished_at,
+                )
+                continue
+            record = JobRecord(
+                job_id=stored.job_id, job=job, state=stored.state,
+                error=stored.error, submitted_at=stored.submitted_at,
+                started_at=stored.started_at, finished_at=stored.finished_at,
+            )
+            if stored.state in (JOB_QUEUED, JOB_RUNNING):
+                # Re-run only what re-hashes identically: a spec cannot
+                # express every OptimizerConfig (budget fields only), and
+                # the service may have restarted under different
+                # settings — silently running *similar* work and filing
+                # it under the submitted job's id would hand the poller
+                # a result for inputs they never asked for.
+                if self._content_hash(job) != stored.content_hash:
+                    record.state = JOB_FAILED
+                    record.started_at = None
+                    record.finished_at = time.time()
+                    record.error = (
+                        "cannot re-run faithfully after restart: the "
+                        "job's content hash changed (a config beyond "
+                        "spec budgets, or different serve settings); "
+                        "resubmit it"
+                    )
+                    self._persist_state(
+                        stored.job_id, JOB_FAILED,
+                        error=record.error,
+                        finished_at=record.finished_at,
+                        clear_started_at=True,
+                    )
+                else:
+                    record.state = JOB_QUEUED
+                    record.started_at = None
+                    self._persist_state(
+                        stored.job_id, JOB_QUEUED, clear_started_at=True
+                    )
+                    self._queue.put(stored.job_id)
+                    self._requeued_jobs += 1
+            elif stored.state == JOB_DONE:
+                # peek, not load: recovery is not cache usage, and must
+                # not refresh gc's LRU clock for every old result.  A
+                # damaged payload must not stop the service from coming
+                # up — the record just loses its result.
+                try:
+                    payload = self._store.peek_result(stored.content_hash)
+                    if payload is not None:
+                        record.result = BatchJobResult.from_payload(
+                            payload, job
+                        )
+                except (sqlite3.Error, ValueError, TypeError, KeyError,
+                        AttributeError):
+                    payload = None
+                if record.result is None:
+                    record.error = (
+                        "result payload no longer readable from the store "
+                        "(evicted by gc, or damaged)"
+                    )
+            self._records[stored.job_id] = record
+            self._recovered_jobs += 1
+
     # -- submission --------------------------------------------------------
 
     def submit(self, job) -> str:
@@ -135,8 +316,10 @@ class JobService:
                     f"job queue is full ({self._max_queue} pending); "
                     f"poll for results and retry"
                 )
-            job_id = f"job-{next(self._ids):06d}"
+            seq = next(self._ids)
+            job_id = f"job-{seq:06d}"
             self._records[job_id] = JobRecord(job_id=job_id, job=job)
+        self._persist_submit(job_id, seq, job)
         self._queue.put(job_id)
         return job_id
 
@@ -213,9 +396,24 @@ class JobService:
                 return False
             record.state = JOB_CANCELLED
             record.finished_at = time.time()
-            return True
+            finished_at = record.finished_at
+        # Store commit outside the lock: a contended SQLite file must
+        # not freeze the other endpoints (same rule as stats/submit).
+        self._persist_state(job_id, JOB_CANCELLED, finished_at=finished_at)
+        return True
 
     def stats_payload(self) -> dict:
+        # The store read happens before taking the service lock: a
+        # contended SQLite file (a concurrent batch-optimize writer) may
+        # block up to its busy timeout, and that wait must not freeze
+        # submit/status/worker traffic.  Best-effort like every other
+        # store call — a broken store must not take /stats down with it.
+        results_stored = 0
+        if self._store is not None:
+            try:
+                results_stored = self._store.result_count()
+            except sqlite3.Error:
+                pass
         with self._lock:
             states = [r.state for r in self._records.values()]
             return {
@@ -234,6 +432,15 @@ class JobService:
                 "privacy_computations": self._privacy_computations,
                 "row_option_cache_hits": self._row_option_cache_hits,
                 "row_option_cache_misses": self._row_option_cache_misses,
+                # Persistent-store durability & dedup (zeros/None when
+                # the service runs without --store).
+                "cache_hits": self._cache_hits,
+                "store_path": (
+                    self._store.path if self._store is not None else None
+                ),
+                "results_stored": results_stored,
+                "jobs_recovered": self._recovered_jobs,
+                "jobs_requeued": self._requeued_jobs,
             }
 
     # -- execution ---------------------------------------------------------
@@ -261,12 +468,19 @@ class JobService:
             try:
                 self._run_one(job_id)
             except Exception as exc:  # noqa: BLE001 - workers must survive
+                failed = None
                 with self._lock:
                     record = self._records.get(job_id)
                     if record is not None and record.state == JOB_RUNNING:
                         record.state = JOB_FAILED
                         record.error = f"{type(exc).__name__}: {exc}"
                         record.finished_at = time.time()
+                        failed = (record.error, record.finished_at)
+                if failed is not None:  # store commit outside the lock
+                    self._persist_state(
+                        job_id, JOB_FAILED,
+                        error=failed[0], finished_at=failed[1],
+                    )
 
     def _effective_job(self, job):
         """The job with ``max_seconds`` clamped to the service timeout."""
@@ -288,12 +502,24 @@ class JobService:
                 return  # cancelled while waiting
             record.state = JOB_RUNNING
             record.started_at = time.time()
-        result = run_job(self._effective_job(record.job), self._settings)
+        self._persist_state(job_id, JOB_RUNNING, started_at=record.started_at)
+        effective = self._effective_job(record.job)
+        result = None
+        if self._cache is not None:
+            result = self._cache.lookup(effective, self._settings)
+        if result is None:
+            result = run_job(effective, self._settings)
+            if self._cache is not None:
+                self._cache.store_result(effective, self._settings, result)
         with self._lock:
             record.result = result
             record.finished_at = time.time()
             record.state = JOB_DONE if result.ok else JOB_FAILED
-            if result.ok:
+            if result.cache_hit:
+                # Served from the store: count the dedup, not the effort —
+                # the payload's counters describe the original run.
+                self._cache_hits += 1
+            elif result.ok:
                 self._job_seconds += result.seconds
                 self._sessions_reused += int(result.session_reused)
                 self._candidates_scanned += result.stats.candidates_scanned
@@ -302,6 +528,12 @@ class JobService:
                 self._row_option_cache_misses += (
                     result.stats.row_option_cache_misses
                 )
+        self._persist_state(
+            job_id,
+            JOB_DONE if result.ok else JOB_FAILED,
+            finished_at=record.finished_at,
+            error=result.error,
+        )
 
 
 class JobServiceHandler(BaseHTTPRequestHandler):

@@ -59,6 +59,7 @@ class JobRecord:
                 privacy=self.result.privacy,
                 seconds=self.result.seconds,
                 session_reused=self.result.session_reused,
+                cache_hit=self.result.cache_hit,
                 error=self.result.error,
             )
         return payload

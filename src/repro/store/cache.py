@@ -1,0 +1,94 @@
+"""The content-addressed result cache over a :class:`JobStore`.
+
+This is the API the execution layers consult *before* running the
+optimizer: :func:`repro.batch.optimizer.run_job` (one cache per worker
+process, keyed by store path) and the job service's run loop both ask
+:meth:`ResultCache.lookup` first — a hit rebuilds the stored
+:class:`~repro.batch.jobs.BatchJobResult` instantly, marked
+``cache_hit=True``; a miss runs the search and :meth:`ResultCache.store`
+persists the payload for every later identical job, in this process or
+any other, before or after a restart.
+
+Only clean, *reproducible* results are cached: a crashed search
+(``not result.ok``) may be environmental (out of memory, a bug since
+fixed) and must be retried, and a search that tripped its **wall-clock**
+budget is skipped too — how far a search gets in ``max_seconds`` depends
+on machine speed and load, so caching it would freeze one slow machine's
+best-so-far as the canonical answer for every faster reader of the same
+store.  A ``max_candidates``-limited outcome, by contrast, is exactly as
+deterministic as a completed search (the budget is part of the content
+hash) and is cached, found or not.
+
+Store-level failures (a corrupt or locked file) degrade to cache misses
+rather than failing the job: the cache is an amortization, never a
+correctness dependency.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Optional
+
+from repro.store.hashing import job_content_hash
+from repro.store.jobstore import JobStore
+
+
+class ResultCache:
+    """Lookup/store of job results keyed by canonical content hash."""
+
+    def __init__(self, store: JobStore):
+        self._store = store
+
+    @property
+    def store(self) -> JobStore:
+        return self._store
+
+    def key(self, job, settings) -> str:
+        return job_content_hash(job, settings)
+
+    def lookup(self, job, settings):
+        """The cached :class:`BatchJobResult` for ``job``, or ``None``.
+
+        The returned result is rebuilt from the stored payload —
+        bit-identical to the original run except for ``cache_hit``,
+        which flips to ``True`` so callers and payload consumers can
+        audit the dedup.
+        """
+        from repro.batch.jobs import BatchJobResult
+
+        # Everything a damaged store row can throw — sqlite errors, a
+        # truncated JSON payload (json errors are ValueErrors), or a
+        # payload whose shape from_payload cannot digest — must degrade
+        # to a miss: run_job's "never raises" contract sits on top.
+        try:
+            payload = self._store.load_result(self.key(job, settings))
+            if payload is None:
+                return None
+            result = BatchJobResult.from_payload(payload, job)
+        except (sqlite3.Error, ValueError, TypeError, KeyError,
+                AttributeError):
+            return None
+        result.cache_hit = True
+        return result
+
+    def store_result(self, job, settings, result) -> Optional[str]:
+        """Persist a fresh result; returns its hash, or ``None`` if skipped.
+
+        Skipped: errored results, results that were themselves cache
+        hits (already stored — rewriting would bump ``created_at`` and
+        could race a concurrent writer), and searches whose scan was cut
+        short by the wall-clock budget (machine-speed-dependent, see the
+        module docstring).  The optimizer reports the cut exactly
+        (``stats.stopped_by_wall_clock``), so a search that brushed its
+        budget but *completed* is still cached.
+        """
+        if not result.ok or result.cache_hit:
+            return None
+        if result.stats.stopped_by_wall_clock:
+            return None
+        key = self.key(job, settings)
+        try:
+            self._store.save_result(key, result.to_payload())
+        except sqlite3.Error:
+            return None
+        return key

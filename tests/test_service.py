@@ -311,6 +311,71 @@ class TestHTTPService:
         assert client.wait(ids[0], timeout=60)["state"] == JOB_DONE
 
 
+class TestClientStartupRetry:
+    """`repro submit` right after `serve` must not lose the race."""
+
+    def test_request_retries_until_server_is_up(self):
+        # Reserve a port, then start listening only after a delay longer
+        # than the first couple of backoff steps: without the retry the
+        # first request dies on connection-refused.
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        service = JobService(worker_threads=0)
+        started = {}
+
+        def bind_late():
+            started["server"] = make_server(service, "127.0.0.1", port)
+            threading.Thread(
+                target=started["server"].serve_forever, daemon=True
+            ).start()
+
+        timer = threading.Timer(0.4, bind_late)
+        timer.start()
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}",
+            connect_retries=8, retry_backoff=0.1,
+        )
+        try:
+            assert client.health() == {"ok": True}
+        finally:
+            timer.cancel()
+            server = started.get("server")
+            if server is not None:
+                server.shutdown()
+                server.server_close()
+
+    def test_exhausted_retries_still_raise(self):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}",
+            connect_retries=1, retry_backoff=0.01,
+        )
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.health()
+
+    def test_http_errors_are_never_retried(self, http_service):
+        import time as _time
+
+        client, _ = http_service
+        # A 404 is a server decision: it must surface on the first
+        # attempt.  With this backoff, even one retry would sleep 10s.
+        impatient = ServiceClient(
+            client.base_url, connect_retries=5, retry_backoff=10.0,
+        )
+        start = _time.monotonic()
+        with pytest.raises(ServiceError, match="404"):
+            impatient.status("job-999999")
+        assert _time.monotonic() - start < 5.0
+
+
 class TestInlineEquivalence:
     """Inline jobs must match the optimize subcommand bit for bit."""
 
