@@ -3,21 +3,29 @@
 
 Starts ``repro serve`` as a subprocess, submits an inline-context job
 stream (the paper's running example) through :class:`ServiceClient`,
-and asserts the two service guarantees:
+and asserts the service guarantees:
 
 * an inline user-database job returns the same result as the
-  ``optimize`` subcommand on the same inputs, and
+  ``optimize`` subcommand on the same inputs,
 * a second job stream over the same context reports
   ``sessions_reused > 0`` in the stats endpoint (cache amortization is
-  observable).
+  observable — for ``--executor process`` this proves each pool
+  *process* warmed and reused its own privacy session), and
+* with ``--executor process`` (which runs with a ``--store`` file), a
+  resubmitted identical job is answered from the shared SQLite result
+  cache — the search ran in a pool worker process, the hit is served by
+  the service process, so the cache demonstrably crosses processes.
 
-Run from the repo root: ``python scripts/service_smoke.py``.
+Run from the repo root: ``python scripts/service_smoke.py
+[--executor thread|process]``.
 """
 
+import argparse
 import os
 import socket
 import subprocess
 import sys
+import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
@@ -45,19 +53,33 @@ def free_port() -> int:
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--executor", choices=("thread", "process"),
+                        default="thread")
+    args = parser.parse_args()
+
     port = free_port()
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    server = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve",
-         "--port", str(port), "--quiet"],
-        env=env, cwd=REPO_ROOT,
-    )
+    command = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", str(port), "--quiet",
+        "--executor", args.executor, "--workers", "1",
+    ]
+    store_dir = None
+    if args.executor == "process":
+        # A file-backed store: pool workers persist results into it, the
+        # service process answers repeats from it — the cross-process leg.
+        store_dir = tempfile.TemporaryDirectory(prefix="repro-smoke-")
+        command += ["--store", os.path.join(store_dir.name, "jobs.db")]
+    server = subprocess.Popen(command, env=env, cwd=REPO_ROOT)
     client = ServiceClient(f"http://127.0.0.1:{port}")
     try:
         client.wait_until_healthy(timeout=30)
+        stats = client.stats()
+        assert stats["executor"] == args.executor, stats
         spec = {
             "database": database_to_json(running_example_db()),
             "tree": tree_to_json(running_example_tree()),
@@ -74,8 +96,12 @@ def main() -> int:
         direct = find_optimal_abstraction(example, running_example_tree(), 2)
         assert payload["privacy"] == direct.privacy, payload
         assert payload["loi"] == direct.loi, payload
+        assert client.status(ids[0])["executor"] == args.executor
 
         # Stream 2: same context again; amortization must be observable.
+        # Under the process executor the session lives in the pool
+        # worker process, so sessions_reused > 0 asserts the per-process
+        # warm-up actually happened there.
         ids = client.submit([{**spec, "threshold": 3}])
         client.wait(ids[0], timeout=120)
         stats = client.stats()
@@ -83,15 +109,33 @@ def main() -> int:
         assert stats["jobs_failed"] == 0, stats
         assert stats["sessions_reused"] > 0, stats
 
+        cache_note = ""
+        if args.executor == "process":
+            # Stream 3: a bit-for-bit identical job must be served from
+            # the shared store without re-running the search.
+            ids = client.submit([spec])
+            repeat = client.wait(ids[0], timeout=120)
+            assert repeat["cache_hit"] is True, repeat
+            assert repeat["privacy"] == direct.privacy, repeat
+            stats = client.stats()
+            assert stats["cache_hits"] > 0, stats
+            assert stats["results_stored"] >= 2, stats
+            cache_note = (
+                f", {stats['cache_hits']} cross-process cache hits"
+            )
+
         print(
-            f"service smoke OK: {stats['jobs_done']} jobs, "
-            f"{stats['sessions_reused']} warm-session, "
+            f"service smoke OK ({args.executor} executor): "
+            f"{stats['jobs_done']} jobs, "
+            f"{stats['sessions_reused']} warm-session{cache_note}, "
             f"privacy={payload['privacy']} loi={payload['loi']:.4f}"
         )
         return 0
     finally:
         server.terminate()
         server.wait(timeout=10)
+        if store_dir is not None:
+            store_dir.cleanup()
 
 
 if __name__ == "__main__":

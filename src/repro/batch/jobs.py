@@ -27,6 +27,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
+import os
+import traceback
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -331,6 +333,21 @@ def job_to_spec(job: "Union[BatchJob, InlineJob]") -> dict:
     return spec
 
 
+def _traceback_summary(exc: BaseException, limit: int = 3) -> str:
+    """The innermost frames of ``exc``'s traceback, compactly.
+
+    Worker processes report failures as error *strings* (the payload is
+    JSON), so the location must be baked into the message for a failing
+    job to stay debuggable from ``/status`` — innermost frame first,
+    basenames only.
+    """
+    frames = traceback.extract_tb(exc.__traceback__)
+    return " <- ".join(
+        f"{os.path.basename(frame.filename)}:{frame.lineno} in {frame.name}"
+        for frame in reversed(frames[-limit:])
+    )
+
+
 @dataclass
 class BatchJobResult:
     """The outcome of one batch job, in picklable scalar form."""
@@ -356,6 +373,21 @@ class BatchJobResult:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @classmethod
+    def from_error(
+        cls, job: "Union[BatchJob, InlineJob]", exc: BaseException
+    ) -> "BatchJobResult":
+        """A failed result whose error keeps the traceback summary.
+
+        The single formatter behind every execution tier (in-process
+        ``run_job``, pool workers, the service), so an error reads the
+        same wherever the job ran — and survives the JSON payload round
+        trip intact, traceback summary included.
+        """
+        where = _traceback_summary(exc)
+        message = f"{type(exc).__name__}: {exc}"
+        return cls(job=job, error=f"{message} [{where}]" if where else message)
 
     def function(self, tree, example):
         """Rebuild the optimal :class:`AbstractionFunction` in-process."""

@@ -272,7 +272,30 @@ def run_job(
             cache.store_result(job, settings, outcome)
         return outcome
     except Exception as exc:  # noqa: BLE001 - report, don't kill the pool
-        return BatchJobResult(job=job, error=f"{type(exc).__name__}: {exc}")
+        return BatchJobResult.from_error(job, exc)
+
+
+def run_job_payload(
+    job: "BatchJob | InlineJob",
+    settings: ExperimentSettings,
+    store_path: "str | None" = None,
+) -> dict:
+    """:func:`run_job`, returning the JSON payload instead of the object.
+
+    The process-pool entry point for the service's execution tier:
+    results cross the pool as :meth:`BatchJobResult.to_payload` dicts —
+    the same lossless representation the store and the HTTP result
+    endpoint use — so transport can never carry state a consumer would
+    not see.  ``run_job`` already converts job failures into error
+    results; the extra guard covers everything outside its reach (a
+    spec whose context JSON breaks during unpickling-adjacent setup, an
+    interpreter-level error), because an exception that escaped a pool
+    worker would otherwise surface as an opaque pickled traceback.
+    """
+    try:
+        return run_job(job, settings, store_path).to_payload()
+    except BaseException as exc:  # noqa: BLE001 - must cross the pool as data
+        return BatchJobResult.from_error(job, exc).to_payload()
 
 
 class BatchOptimizer:

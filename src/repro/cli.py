@@ -127,6 +127,24 @@ def cmd_optimize(args) -> int:
     return 0 if result.found else 1
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for flags that need a count >= 1.
+
+    Raising :class:`argparse.ArgumentTypeError` makes argparse exit 2
+    with a message naming the flag — a bad ``serve --workers 0`` used to
+    slip through and surface only as a service whose queue never drains.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _settings_for(args):
     """The experiment settings profile with CLI budget overrides applied."""
     import dataclasses
@@ -238,13 +256,14 @@ def cmd_serve(args) -> int:
         max_queue=args.queue_size,
         job_timeout=args.job_timeout,
         store=store,
+        executor=args.executor,
     ).start()
     server = make_server(service, args.host, args.port, quiet=args.quiet)
     host, port = server.server_address[:2]
     print(
         f"repro job service on http://{host}:{port} "
-        f"({args.workers} worker thread{'s' if args.workers != 1 else ''}, "
-        f"queue {args.queue_size})"
+        f"({args.workers} {args.executor} worker"
+        f"{'s' if args.workers != 1 else ''}, queue {args.queue_size})"
     )
     if store is not None:
         stats = service.stats_payload()
@@ -526,9 +545,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=8765,
                          help="listen port (0 = pick a free port)")
     p_serve.add_argument(
-        "--workers", type=int, default=1,
-        help="job worker threads; they share one in-process cache, so "
-             "1 (the default) maximizes warm-cache reuse",
+        "--workers", type=_positive_int, default=1,
+        help="concurrent job workers (>= 1); with --executor thread "
+             "they share one in-process cache, so 1 (the default) "
+             "maximizes warm-cache reuse",
+    )
+    from repro.service.state import EXECUTOR_NAMES
+
+    p_serve.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default=EXECUTOR_NAMES[0],
+        help="execution tier: 'thread' runs searches in-process "
+             "(shared warm caches, GIL-capped at ~1 core), 'process' "
+             "fans them out to a pool of --workers processes that "
+             "share the --store result cache (scales to all cores)",
     )
     p_serve.add_argument("--queue-size", type=int, default=64,
                          help="pending-job bound; submissions beyond it "

@@ -1,13 +1,24 @@
 """Long-lived job service over :mod:`repro.batch`.
 
-``repro serve`` starts an HTTP+JSON server whose worker threads keep the
+``repro serve`` starts an HTTP+JSON server whose workers keep the
 per-process context and privacy-session caches warm across requests;
 ``repro submit`` / ``repro poll`` (backed by :class:`ServiceClient`) feed
-it job streams.  See ``docs/PERFORMANCE.md`` ("Job service") for the
-endpoints and the reuse counters.
+it job streams.  Execution is pluggable: the ``thread`` backend runs
+searches in-process, the ``process`` backend fans them out to a process
+pool (``--executor process --workers N``) so one service saturates all
+cores while the shared store keeps dedup global.  See
+``docs/PERFORMANCE.md`` ("Job service" / "Service scale-out") for the
+endpoints, the reuse counters, and when to pick which backend.
 """
 
 from repro.service.client import ServiceClient
+from repro.service.executors import (
+    EXECUTOR_NAMES,
+    ExecutorBackend,
+    ProcessPoolBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.service.server import (
     JobService,
     JobServiceHandler,
@@ -24,15 +35,20 @@ from repro.service.state import (
 )
 
 __all__ = [
+    "EXECUTOR_NAMES",
     "JOB_CANCELLED",
     "JOB_DONE",
     "JOB_FAILED",
     "JOB_QUEUED",
     "JOB_RUNNING",
     "TERMINAL_STATES",
+    "ExecutorBackend",
     "JobRecord",
     "JobService",
     "JobServiceHandler",
+    "ProcessPoolBackend",
     "ServiceClient",
+    "ThreadBackend",
+    "make_backend",
     "make_server",
 ]

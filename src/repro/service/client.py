@@ -102,8 +102,16 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 
-    def submit(self, specs: Sequence[dict]) -> list[str]:
-        """Submit job specs (named or inline); returns the job ids."""
+    def submit(self, specs: "Sequence[dict] | dict") -> list[str]:
+        """Submit job specs (named or inline); returns the job ids.
+
+        Accepts one spec dict or a sequence of them — the single-job
+        case is common enough (smoke scripts, notebooks) that forcing a
+        one-element list on every caller just invites the "iterating a
+        dict submits its keys" mistake.
+        """
+        if isinstance(specs, dict):
+            specs = [specs]
         return self._request("POST", "/jobs", payload=list(specs))["ids"]
 
     def list_jobs(self) -> list[dict]:

@@ -1,0 +1,241 @@
+"""Pluggable execution backends for the job service.
+
+The service's queue, cancellation, backpressure, timeout-clamping,
+durability, and stats logic live in :class:`repro.service.server.JobService`
+and are backend-independent; an :class:`ExecutorBackend` only decides
+*where one job's search runs* once a service worker thread has claimed it:
+
+:class:`ThreadBackend`
+    In this process, on the claiming thread — the original design.  All
+    worker threads share one ``_cached_context`` / ``_cached_session``
+    cache (maximum warm-cache reuse), but the search is pure Python, so
+    the GIL caps one service at roughly one core no matter how many
+    worker threads are configured.
+
+:class:`ProcessPoolBackend`
+    On a ``concurrent.futures`` process pool sized to the worker-thread
+    count.  Each worker *process* owns its warm context/privacy-session
+    caches (content-hash keyed, exactly as the batch layer's pool
+    workers do) and — when the service has a file-backed store —
+    consults the shared SQLite result cache before searching and
+    persists fresh results into it.  Search parallelism scales to the
+    cores; the store keeps dedup global across the processes.
+
+Results cross the pool as :meth:`BatchJobResult.to_payload` dictionaries
+(the PR-4 lossless JSON round trip), never as pickled result objects:
+the payload is the same representation the store and the HTTP result
+endpoint use, so whatever survives transport is exactly what every other
+consumer sees.  A job that raises in a pool worker comes back as an
+error payload carrying the traceback summary.  A worker process that
+*dies* (OOM kill, segfault) condemns the whole pool — ``concurrent
+.futures`` fails every in-flight future, not just the dead worker's —
+so the backend replaces the pool and retries each interrupted job once
+on the fresh one: innocent siblings typically survive a neighbor's
+death (their retry completes unless the culprit breaks the next pool
+mid-flight too), while a job that breaks two pools in a row fails
+visibly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional
+
+from repro.batch.jobs import BatchJobResult
+from repro.batch.optimizer import run_job, run_job_payload
+from repro.errors import ServiceError
+from repro.service.state import EXECUTOR_NAMES
+
+
+class ExecutorBackend:
+    """Where a service worker thread executes one claimed job.
+
+    ``run`` is called from (possibly many) service worker threads and
+    must be thread-safe; it returns a :class:`BatchJobResult` and never
+    raises for job-level failures (those land in ``result.error``).
+    ``manages_store`` tells the service whether this backend already
+    consults/persists the shared result cache itself, so the service
+    does not double-write fresh results.
+    """
+
+    name = "?"
+    manages_store = False
+
+    def start(self) -> "ExecutorBackend":
+        """Bring up any execution resources (idempotent)."""
+        return self
+
+    def run(self, job, settings) -> BatchJobResult:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release execution resources; in-flight jobs may be abandoned."""
+
+
+class ThreadBackend(ExecutorBackend):
+    """Run the search in-process, on the claiming worker thread.
+
+    Cache consult/persist stays with the service (its ``ResultCache``
+    wraps the same ``JobStore`` connection, which keeps ``:memory:``
+    stores working), so this backend is a plain ``run_job`` call.
+    """
+
+    name = "thread"
+    manages_store = False
+
+    def run(self, job, settings) -> BatchJobResult:
+        return run_job(job, settings)
+
+
+def _default_mp_context():
+    """The start method for service pools: ``fork`` where it exists.
+
+    Forked workers inherit the parent's imported modules and any
+    already-warm batch caches, so they are serving within milliseconds;
+    ``spawn`` (the only portable fallback) pays a fresh interpreter and
+    import per worker instead.  The service pre-spawns its workers
+    before the HTTP and worker threads exist (see
+    :meth:`ProcessPoolBackend.start`), which keeps the forks
+    single-threaded — the condition Python 3.12+ warns about.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Run searches on a process pool, one process per service worker.
+
+    ``store_path`` (optional) is the file-backed job store the workers
+    share: each worker process opens its own SQLite connection
+    (pid-keyed inside ``run_job``), consults the result cache before
+    searching, and persists fresh results — WAL journaling serializes
+    the short writes.  In-memory stores cannot cross processes; the
+    service keeps cache handling to itself in that case
+    (``manages_store`` is False when no path was given).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        store_path: Optional[str] = None,
+        mp_context=None,
+    ):
+        self._workers = max(1, int(workers))
+        self._store_path = store_path
+        self._mp_context = mp_context
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._pools_replaced = 0
+
+    @property
+    def manages_store(self) -> bool:  # type: ignore[override]
+        return self._store_path is not None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def pools_replaced(self) -> int:
+        """How many times a broken pool was swapped for a fresh one."""
+        return self._pools_replaced
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    mp_context=self._mp_context or _default_mp_context(),
+                )
+            return self._pool
+
+    def start(self) -> "ProcessPoolBackend":
+        """Create the pool and pre-spawn every worker process.
+
+        Eager spawning matters under the ``fork`` start method: the
+        service calls this before its worker/HTTP threads exist, so the
+        forks happen while the parent is still single-threaded (forking
+        a multi-threaded process risks inheriting locks mid-acquire).
+        One trivial task per worker forces the executor to actually
+        create the processes.
+        """
+        pool = self._ensure_pool()
+        for future in [
+            pool.submit(os.getpid) for _ in range(self._workers)
+        ]:
+            future.result()
+        return self
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        with self._lock:
+            if self._pool is pool:
+                self._pool = None
+                self._pools_replaced += 1
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def run(self, job, settings) -> BatchJobResult:
+        last_error = None
+        for attempt in range(2):
+            pool = self._ensure_pool()
+            try:
+                payload = pool.submit(
+                    run_job_payload, job, settings, self._store_path
+                ).result()
+            except BrokenProcessPool as exc:
+                # A worker died (OOM kill, segfault, an os._exit in
+                # native code) and the executor condemned the *whole*
+                # pool — this future fails whether or not its job was
+                # the one on the dead worker.  Discard the pool and
+                # retry once on a fresh one, so a neighbor's death does
+                # not fail innocent in-flight jobs; a job that breaks
+                # two pools in a row is the likely culprit and fails
+                # visibly (the search is pure, so a retry is safe).
+                self._discard_pool(pool)
+                last_error = exc
+                continue
+            return BatchJobResult.from_payload(payload, job)
+        return BatchJobResult(
+            job=job,
+            error=(
+                f"a worker process died while this job was in flight, "
+                f"twice — on the original pool and on a fresh retry pool "
+                f"({type(last_error).__name__}: {last_error}); the job "
+                f"itself likely kills its worker (out of memory?)"
+            ),
+        )
+
+    def shutdown(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def make_backend(
+    executor: str,
+    workers: int = 1,
+    store_path: Optional[str] = None,
+) -> ExecutorBackend:
+    """Build the named backend; unknown names raise :class:`ServiceError`.
+
+    ``workers`` sizes the process pool (thread execution is sized by the
+    service's worker threads directly); ``store_path`` is forwarded to
+    pool workers only — it must be a path other processes can open, so
+    callers pass ``None`` for in-memory stores.
+    """
+    if executor == "thread":
+        return ThreadBackend()
+    if executor == "process":
+        return ProcessPoolBackend(workers=workers, store_path=store_path)
+    raise ServiceError(
+        f"unknown executor {executor!r} "
+        f"(choose from: {', '.join(EXECUTOR_NAMES)})"
+    )

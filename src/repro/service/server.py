@@ -2,13 +2,23 @@
 
 The CLI's ``batch-optimize`` is one-shot: every invocation pays context
 generation and privacy-session warmup again.  :class:`JobService` keeps
-those caches alive instead — jobs arrive as a stream (HTTP+JSON), run on
-persistent worker threads *in one process*, and therefore share the
-per-process context cache and :class:`~repro.core.privacy.PrivacySession`
-cache in ``repro.batch.optimizer`` across requests.  The amortization is
-observable: the ``/stats`` endpoint reports ``sessions_reused`` (jobs
+those caches alive instead — jobs arrive as a stream (HTTP+JSON) and run
+on persistent workers whose context cache and
+:class:`~repro.core.privacy.PrivacySession` cache in
+``repro.batch.optimizer`` stay warm across requests.  The amortization
+is observable: the ``/stats`` endpoint reports ``sessions_reused`` (jobs
 that attached to a privacy session warmed by an earlier request) next to
 the aggregate search counters.
+
+*Where* a claimed job executes is pluggable
+(:mod:`repro.service.executors`): the default ``thread`` backend runs it
+on the worker thread itself (shared warm caches, GIL-capped at roughly
+one core), while the ``process`` backend (``repro serve --executor
+process --workers N``) dispatches it to a process pool whose workers
+each own warm caches and share the file-backed result cache — the
+pure-CPU search then scales to the cores while every service behavior
+around it (queueing, cancellation, timeout clamps, backpressure,
+durability, stats) is backend-independent.
 
 Endpoints (all JSON):
 
@@ -55,10 +65,10 @@ from queue import Empty, Queue
 from typing import Optional, Sequence
 
 from repro.batch.jobs import BatchJobResult, job_from_spec, job_to_spec
-from repro.batch.optimizer import run_job
 from repro.core.optimizer import OptimizerConfig
 from repro.errors import JobSpecError, ServiceError
 from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+from repro.service.executors import make_backend
 from repro.service.state import (
     JOB_CANCELLED,
     JOB_DONE,
@@ -67,7 +77,12 @@ from repro.service.state import (
     JOB_RUNNING,
     JobRecord,
 )
-from repro.store import JobStore, ResultCache, job_content_hash
+from repro.store import (
+    JobStore,
+    ResultCache,
+    job_content_hash,
+    shareable_store_path,
+)
 
 
 class _UnparseableJob:
@@ -98,6 +113,14 @@ class JobService:
     :class:`repro.store.JobStore` for durability and cross-restart result
     dedup (recovery runs synchronously in the constructor, before any
     worker starts).
+
+    ``executor`` picks the execution tier (see
+    :mod:`repro.service.executors`): ``"thread"`` runs searches on the
+    worker threads themselves — shared warm caches, GIL-capped at about
+    one core; ``"process"`` dispatches each claimed job to a process
+    pool sized to the worker-thread count, scaling the pure-CPU search
+    to the hardware while queueing, cancellation, timeouts,
+    backpressure, recovery, and ``/stats`` behave identically.
     """
 
     def __init__(
@@ -107,6 +130,7 @@ class JobService:
         max_queue: int = 64,
         job_timeout: Optional[float] = None,
         store: Optional[JobStore] = None,
+        executor: str = "thread",
     ):
         self._settings = settings
         self._worker_threads = max(0, worker_threads)
@@ -132,6 +156,14 @@ class JobService:
         self._cache_hits = 0
         self._store = store
         self._cache = ResultCache(store) if store is not None else None
+        # Pool workers can only share a store that lives in a file; an
+        # in-memory store stays service-side (the backend then reports
+        # manages_store=False and this process persists results itself).
+        self._backend = make_backend(
+            executor,
+            workers=max(1, self._worker_threads),
+            store_path=shareable_store_path(store),
+        )
         self._recovered_jobs = 0
         self._requeued_jobs = 0
         if store is not None:
@@ -140,7 +172,13 @@ class JobService:
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "JobService":
-        """Spawn the worker threads (idempotent)."""
+        """Start the backend, then spawn the worker threads (idempotent).
+
+        Order matters for the process backend under the ``fork`` start
+        method: its pool workers are pre-spawned here, while this
+        process is still single-threaded.
+        """
+        self._backend.start()
         with self._lock:
             while len(self._threads) < self._worker_threads:
                 thread = threading.Thread(
@@ -159,6 +197,7 @@ class JobService:
             self._queue.put(None)
         for thread in threads:
             thread.join(timeout)
+        self._backend.shutdown()
 
     # -- durability --------------------------------------------------------
 
@@ -418,6 +457,7 @@ class JobService:
             states = [r.state for r in self._records.values()]
             return {
                 "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "executor": self._backend.name,
                 "worker_threads": self._worker_threads,
                 "queue_capacity": self._max_queue,
                 "queue_depth": states.count(JOB_QUEUED),
@@ -502,14 +542,20 @@ class JobService:
                 return  # cancelled while waiting
             record.state = JOB_RUNNING
             record.started_at = time.time()
+            record.executor = self._backend.name
         self._persist_state(job_id, JOB_RUNNING, started_at=record.started_at)
         effective = self._effective_job(record.job)
+        # The service-side cache consult answers repeats without a pool
+        # round trip; a process backend with a file store consults (and
+        # persists into) the same SQLite file again inside the worker,
+        # which also catches results a concurrent writer stored after
+        # this lookup missed.
         result = None
         if self._cache is not None:
             result = self._cache.lookup(effective, self._settings)
         if result is None:
-            result = run_job(effective, self._settings)
-            if self._cache is not None:
+            result = self._backend.run(effective, self._settings)
+            if self._cache is not None and not self._backend.manages_store:
                 self._cache.store_result(effective, self._settings, result)
         with self._lock:
             record.result = result

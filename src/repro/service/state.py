@@ -20,6 +20,12 @@ JOB_CANCELLED = "cancelled"
 #: States a job can never leave.
 TERMINAL_STATES = frozenset({JOB_DONE, JOB_FAILED, JOB_CANCELLED})
 
+#: The execution backends ``repro serve --executor`` accepts, in the
+#: order the CLI advertises them.  Lives here (not in
+#: :mod:`repro.service.executors`) so the CLI parser can name the
+#: choices without importing the optimizer stack behind the backends.
+EXECUTOR_NAMES = ("thread", "process")
+
 
 @dataclass
 class JobRecord:
@@ -38,12 +44,17 @@ class JobRecord:
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Which execution backend claimed the job ("thread"/"process");
+    #: ``None`` until it leaves the queue.  Mixed deployments (a thread
+    #: service and a process service sharing one store) stay auditable.
+    executor: Optional[str] = None
 
     def status_payload(self) -> dict:
         """The JSON-ready status summary (no heavy result fields)."""
         payload: dict = {
             "id": self.job_id,
             "state": self.state,
+            "executor": self.executor,
             "query_name": self.job.query_name,
             "threshold": self.job.threshold,
             "tag": self.job.tag,

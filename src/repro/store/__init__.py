@@ -10,7 +10,7 @@ search mode); the batch workers, the job service (``repro serve
 ``docs/PERFORMANCE.md`` ("Persistent job store & result cache").
 """
 
-from repro.store.cache import ResultCache
+from repro.store.cache import ResultCache, shareable_store_path
 from repro.store.hashing import (
     CONTEXT_SETTINGS_FIELDS,
     HASH_VERSION,
@@ -32,5 +32,6 @@ __all__ = [
     "context_settings",
     "effective_config",
     "job_content_hash",
+    "shareable_store_path",
     "spec_content_hash",
 ]

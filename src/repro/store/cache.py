@@ -33,6 +33,25 @@ from repro.store.hashing import job_content_hash
 from repro.store.jobstore import JobStore
 
 
+def shareable_store_path(store: Optional[JobStore]) -> Optional[str]:
+    """A store path other processes can open, or ``None``.
+
+    An in-memory store is private to the connection that created it —
+    handing ``":memory:"`` to a pool worker would silently open a
+    fresh, empty database and every result persisted there would die
+    with the worker.  Callers that fan execution out across processes
+    (the service's process backend) use this to decide whether workers
+    can share the cache or the owning process must keep cache handling
+    to itself.
+    """
+    if store is None:
+        return None
+    path = store.path
+    if path == ":memory:" or path.startswith("file::memory:"):
+        return None
+    return path
+
+
 class ResultCache:
     """Lookup/store of job results keyed by canonical content hash."""
 

@@ -283,6 +283,26 @@ class TestLoaderErrors:
         assert code == 2
         assert "cannot reach job service" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("workers", ["0", "-2", "two"])
+    def test_serve_rejects_bad_worker_count(self, workers, capsys):
+        # Argparse validation: exit 2 before any service starts, with an
+        # error naming the flag (a bad count used to surface only as a
+        # service whose queue never drains).
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--port", "0", "--workers", workers])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err
+        assert "must be >= 1" in err or "positive integer" in err
+
+    def test_serve_rejects_unknown_executor(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--port", "0", "--executor", "mpi"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--executor" in err
+        assert "thread" in err and "process" in err
+
 
 class TestOtherCommands:
     def test_privacy_identity(self, workspace, capsys):

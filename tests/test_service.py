@@ -1,4 +1,10 @@
-"""Tests for the long-lived job service (repro.service)."""
+"""Tests for the long-lived job service (repro.service).
+
+The execution-behavior tests run parameterized over both executor
+backends (``thread`` and ``process``): queueing, cancellation, timeout
+clamps, backpressure, failure reporting, and the stats counters must be
+indistinguishable across the tier.
+"""
 
 import threading
 
@@ -12,13 +18,42 @@ from repro.io.json_io import database_to_json, tree_to_json
 from repro.provenance.builder import build_kexample
 from repro.query.parser import parse_cq
 from repro.service import (
+    EXECUTOR_NAMES,
     JOB_CANCELLED,
     JOB_DONE,
     JOB_QUEUED,
     JobService,
+    ProcessPoolBackend,
     ServiceClient,
     make_server,
 )
+from repro.store import JobStore
+
+
+@pytest.fixture(params=EXECUTOR_NAMES)
+def executor(request):
+    """Every execution-behavior test runs once per backend."""
+    return request.param
+
+
+@pytest.fixture
+def make_service(executor):
+    """A ``JobService`` factory bound to the parameterized backend.
+
+    Shuts every created service down at teardown so process pools never
+    leak across tests.
+    """
+    services = []
+
+    def factory(**kwargs):
+        kwargs.setdefault("worker_threads", 0)
+        service = JobService(executor=executor, **kwargs)
+        services.append(service)
+        return service
+
+    yield factory
+    for service in services:
+        service.shutdown()
 
 QUERY = (
     "Q(id) :- Person(id, name, age), Hobbies(id, 'Dance', s1),"
@@ -48,10 +83,13 @@ def direct_result(threshold=2, n_rows=2):
 
 
 class TestJobService:
-    """The queue/worker core, driven synchronously (no worker threads)."""
+    """The queue/worker core, driven synchronously (no worker threads).
 
-    def test_submit_run_result_roundtrip(self):
-        service = JobService(worker_threads=0, max_queue=8)
+    Parameterized over both executor backends via ``make_service``.
+    """
+
+    def test_submit_run_result_roundtrip(self, make_service):
+        service = make_service(max_queue=8)
         ids = service.submit_specs([inline_spec(tag="r1")])
         assert service.status_payload(ids[0])["state"] == JOB_QUEUED
         assert service.run_next()
@@ -76,15 +114,15 @@ class TestJobService:
         assert result.function(tree, example).assignment == \
             direct.function.assignment
 
-    def test_result_conflict_while_queued(self):
-        service = JobService(worker_threads=0, max_queue=8)
+    def test_result_conflict_while_queued(self, make_service):
+        service = make_service(max_queue=8)
         ids = service.submit_specs([inline_spec()])
         code, payload = service.result_payload(ids[0])
         assert code == 409
         assert payload["state"] == JOB_QUEUED
 
-    def test_queue_backpressure(self):
-        service = JobService(worker_threads=0, max_queue=1)
+    def test_queue_backpressure(self, make_service):
+        service = make_service(max_queue=1)
         ids = service.submit_specs([inline_spec()])
         with pytest.raises(ServiceError, match="full"):
             service.submit_specs([inline_spec(threshold=3)])
@@ -96,8 +134,8 @@ class TestJobService:
         replacement = service.submit_specs([inline_spec(threshold=4)])
         assert service.status_payload(replacement[0])["state"] == JOB_QUEUED
 
-    def test_cancel_queued_job(self):
-        service = JobService(worker_threads=0, max_queue=8)
+    def test_cancel_queued_job(self, make_service):
+        service = make_service(max_queue=8)
         ids = service.submit_specs([inline_spec()])
         assert service.cancel(ids[0]) is True
         assert service.status_payload(ids[0])["state"] == JOB_CANCELLED
@@ -110,12 +148,13 @@ class TestJobService:
         assert payload["state"] == JOB_CANCELLED
         assert "found" not in payload
 
-    def test_sessions_reused_across_job_stream(self):
-        # A renamed query variable gives this context a unique content
-        # hash, keeping it cold within the test process: the first job
-        # warms the session and the rest attach to it.
-        query = QUERY.replace("name", "nm")
-        service = JobService(worker_threads=0, max_queue=8)
+    def test_sessions_reused_across_job_stream(self, make_service, executor):
+        # A renamed query variable (unique per backend leg — fork-started
+        # pool workers inherit this process's warm caches, so the legs
+        # must not share a context) keeps the context cold: the first
+        # job warms the session and the rest attach to it.
+        query = QUERY.replace("name", f"nm_{executor}")
+        service = make_service(max_queue=8)
         service.submit_specs([
             inline_spec(threshold=2, query=query),
             inline_spec(threshold=3, query=query),
@@ -142,8 +181,8 @@ class TestJobService:
         no_timeout = JobService(worker_threads=0)
         assert no_timeout._effective_job(unbounded) is unbounded
 
-    def test_bad_spec_rejects_whole_batch(self):
-        service = JobService(worker_threads=0, max_queue=8)
+    def test_bad_spec_rejects_whole_batch(self, make_service):
+        service = make_service(max_queue=8)
         with pytest.raises(JobSpecError, match="job 1.*treshold"):
             service.submit_specs([inline_spec(), {"treshold": 2}])
         assert service.stats_payload()["jobs_submitted"] == 0
@@ -196,8 +235,10 @@ class TestSpecValidation:
 
 
 @pytest.fixture
-def http_service():
-    service = JobService(worker_threads=1, max_queue=16).start()
+def http_service(executor):
+    service = JobService(
+        worker_threads=1, max_queue=16, executor=executor
+    ).start()
     server = make_server(service, "127.0.0.1", 0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -211,7 +252,11 @@ def http_service():
 
 
 class TestHTTPService:
-    """The HTTP layer end to end, over a live localhost server."""
+    """The HTTP layer end to end, over a live localhost server.
+
+    The ``http_service`` fixture is parameterized over both executor
+    backends, so every behavior here is asserted for each tier.
+    """
 
     def test_submit_poll_result_roundtrip(self, http_service):
         client, _ = http_service
@@ -276,11 +321,15 @@ class TestHTTPService:
         jobs = client.list_jobs()
         assert any(j["tag"] == "listed" for j in jobs)
 
-    def test_multi_worker_same_context_stream(self):
+    def test_multi_worker_same_context_stream(self, executor):
         """Concurrent workers racing on one cold context must not fail."""
-        service = JobService(worker_threads=2, max_queue=16).start()
+        service = JobService(
+            worker_threads=2, max_queue=16, executor=executor
+        ).start()
         try:
-            query = QUERY.replace("name", "label")  # process-unique context
+            # A context unique to this backend leg (workers of either
+            # tier must see it cold).
+            query = QUERY.replace("name", f"label_{executor}")
             ids = service.submit_specs([
                 inline_spec(threshold=k, query=query) for k in (2, 2, 3, 3)
             ])
@@ -308,6 +357,165 @@ class TestHTTPService:
         assert client.stats()["jobs_failed"] == 1
         # The service keeps serving after a failure.
         ids = client.submit([inline_spec()])
+        assert client.wait(ids[0], timeout=60)["state"] == JOB_DONE
+
+
+class _WorkerKiller:
+    """Unpickling this in a pool worker hard-exits the worker process."""
+
+    def __reduce__(self):
+        import os
+
+        return (os._exit, (13,))
+
+
+class TestExecutorTier:
+    """Behaviors specific to the pluggable execution tier."""
+
+    def test_unknown_executor_raises_named_error(self):
+        with pytest.raises(ServiceError, match="unknown executor 'mpi'"):
+            JobService(worker_threads=0, executor="mpi")
+
+    def test_executor_surfaces_in_stats_and_status(self, make_service,
+                                                   executor):
+        service = make_service(max_queue=4)
+        assert service.stats_payload()["executor"] == executor
+        ids = service.submit_specs([inline_spec()])
+        assert service.status_payload(ids[0])["executor"] is None  # queued
+        service.run_next()
+        assert service.status_payload(ids[0])["executor"] == executor
+
+    def test_pool_failure_keeps_traceback_and_is_never_cached(self, tmp_path):
+        """A job that raises in a pool worker crosses back as data.
+
+        The error must reach ``/status`` with the traceback summary
+        intact, and the result store must never learn about it — an
+        errored search may be environmental and has to be retryable.
+        """
+        store = JobStore(str(tmp_path / "jobs.db"))
+        service = JobService(worker_threads=0, executor="process",
+                             store=store)
+        try:
+            ids = service.submit_specs(
+                [{"query_name": "NO-SUCH-QUERY", "threshold": 2}]
+            )
+            service.run_next()
+            payload = service.status_payload(ids[0])
+            assert payload["state"] == "failed"
+            assert "NO-SUCH-QUERY" in payload["error"]
+            # The traceback summary: "[file.py:123 in func <- ...]".
+            assert " in " in payload["error"]
+            assert ".py:" in payload["error"]
+            assert store.result_count() == 0
+        finally:
+            service.shutdown()
+
+    def test_cross_process_cache_hits_through_shared_store(self, tmp_path):
+        """Pool workers persist into the store; repeats never re-search."""
+        store = JobStore(str(tmp_path / "jobs.db"))
+        service = JobService(worker_threads=0, executor="process",
+                             store=store)
+        try:
+            spec = inline_spec(query=QUERY.replace("name", "xproc"))
+            first = service.submit_specs([spec])
+            service.run_next()
+            _, fresh = service.result_payload(first[0])
+            assert fresh["state"] == JOB_DONE and not fresh["cache_hit"]
+            # The *worker process* wrote the result into the SQLite file.
+            assert store.result_count() == 1
+            second = service.submit_specs([spec])
+            service.run_next()
+            _, hit = service.result_payload(second[0])
+            assert hit["cache_hit"] is True
+            assert service.stats_payload()["cache_hits"] == 1
+            # Bit-identical payload, the audit flag aside.
+            for key, value in fresh.items():
+                if key not in ("id", "cache_hit"):
+                    assert hit[key] == value, key
+        finally:
+            service.shutdown()
+
+    def test_in_memory_store_still_caches_with_process_backend(self):
+        """``:memory:`` cannot cross processes; the service covers it."""
+        service = JobService(worker_threads=0, executor="process",
+                             store=JobStore(":memory:"))
+        try:
+            spec = inline_spec(query=QUERY.replace("name", "xmem"))
+            ids = service.submit_specs([spec, spec])
+            while service.run_next():
+                pass
+            _, first = service.result_payload(ids[0])
+            _, second = service.result_payload(ids[1])
+            assert not first["cache_hit"]
+            assert second["cache_hit"] is True
+        finally:
+            service.shutdown()
+
+    def test_broken_pool_is_replaced_and_keeps_serving(self):
+        """A worker-killing job fails after one retry; the pool self-heals.
+
+        The job is retried once on a fresh pool (a pool breakage fails
+        every in-flight future, so the retry is what keeps a neighbor's
+        death from failing innocent jobs); a job that breaks two pools
+        in a row fails visibly, and later jobs run on a healthy pool.
+        """
+        from repro.experiments.settings import DEFAULT_SETTINGS
+
+        backend = ProcessPoolBackend(workers=1)
+        try:
+            dead = backend.run(_WorkerKiller(), DEFAULT_SETTINGS)
+            assert not dead.ok
+            assert "worker process died" in dead.error
+            assert "twice" in dead.error
+            assert backend.pools_replaced == 2  # original + retry pool
+            alive = backend.run(job_from_spec(inline_spec()),
+                                DEFAULT_SETTINGS)
+            assert alive.ok and alive.found
+        finally:
+            backend.shutdown()
+
+    def test_thread_and_process_outcomes_are_bit_identical(self):
+        """Same spec stream, both tiers: payloads equal modulo timing.
+
+        The process leg runs first so neither tier has seen the context
+        before (fork-started workers inherit this process's caches —
+        running the thread leg first would hand the pool a warm
+        session and skew the effort counters).
+        """
+        specs = [
+            inline_spec(threshold=k, query=QUERY.replace("name", "xsame"))
+            for k in (2, 3)
+        ]
+        payloads = {}
+        for executor in ("process", "thread"):
+            service = JobService(worker_threads=0, executor=executor)
+            try:
+                ids = service.submit_specs(specs)
+                while service.run_next():
+                    pass
+                payloads[executor] = [
+                    service.result_payload(i)[1] for i in ids
+                ]
+            finally:
+                service.shutdown()
+        def normalized(payload):
+            # Timing is the only legitimate difference between tiers:
+            # the job-level seconds and the optimizer's elapsed_seconds
+            # counter.  Everything else must match bit for bit.
+            clean = {k: v for k, v in payload.items()
+                     if k not in ("id", "seconds")}
+            clean["stats"] = {k: v for k, v in payload["stats"].items()
+                              if k != "elapsed_seconds"}
+            return clean
+
+        for via_process, via_thread in zip(payloads["process"],
+                                           payloads["thread"]):
+            assert normalized(via_process) == normalized(via_thread)
+
+    def test_client_submit_accepts_single_spec_dict(self, http_service):
+        client, _ = http_service
+        ids = client.submit(inline_spec(tag="single"))
+        assert len(ids) == 1
         assert client.wait(ids[0], timeout=60)["state"] == JOB_DONE
 
 

@@ -505,10 +505,27 @@ class TestResultCache:
                 payload_modulo_cache_hit(b.to_payload())
 
 
-def make_service(path, **kwargs):
-    kwargs.setdefault("worker_threads", 0)
-    kwargs.setdefault("max_queue", 16)
-    return JobService(store=JobStore(path), **kwargs)
+@pytest.fixture(params=("thread", "process"))
+def make_service(request):
+    """A store-backed ``JobService`` factory, parameterized by executor.
+
+    Durability must be indistinguishable across the execution tiers, so
+    every test below runs once per backend.  Created services are shut
+    down at teardown (the process backend owns a worker pool).
+    """
+    services = []
+
+    def factory(path, **kwargs):
+        kwargs.setdefault("worker_threads", 0)
+        kwargs.setdefault("max_queue", 16)
+        kwargs.setdefault("executor", request.param)
+        service = JobService(store=JobStore(path), **kwargs)
+        services.append(service)
+        return service
+
+    yield factory
+    for service in services:
+        service.shutdown()
 
 
 def drain(service):
@@ -517,9 +534,12 @@ def drain(service):
 
 
 class TestServiceDurability:
-    """The acceptance loop: dedup within a process and across restarts."""
+    """The acceptance loop: dedup within a process and across restarts.
 
-    def test_same_job_twice_runs_the_optimizer_once(self, tmp_path):
+    ``make_service`` is parameterized over both executor backends.
+    """
+
+    def test_same_job_twice_runs_the_optimizer_once(self, tmp_path, make_service):
         service = make_service(str(tmp_path / "store.db"))
         ids = service.submit_specs([inline_spec(), inline_spec()])
         drain(service)
@@ -535,7 +555,7 @@ class TestServiceDurability:
         assert stats["cache_hits"] == 1
         assert stats["results_stored"] == 1
 
-    def test_results_survive_a_restart(self, tmp_path):
+    def test_results_survive_a_restart(self, tmp_path, make_service):
         path = str(tmp_path / "store.db")
         service = make_service(path)
         ids = service.submit_specs([inline_spec(tag="persist")])
@@ -556,7 +576,7 @@ class TestServiceDurability:
         assert payload_modulo_cache_hit({**before, "id": "", "tag": ""}) == \
             payload_modulo_cache_hit({**resubmitted, "id": "", "tag": ""})
 
-    def test_queued_and_running_jobs_requeue_on_restart(self, tmp_path):
+    def test_queued_and_running_jobs_requeue_on_restart(self, tmp_path, make_service):
         path = str(tmp_path / "store.db")
         service = make_service(path)
         ids = service.submit_specs([inline_spec(), inline_spec(threshold=3)])
@@ -577,7 +597,7 @@ class TestServiceDurability:
             assert payload["state"] == JOB_DONE
             assert payload["found"]
 
-    def test_unfaithful_requeue_fails_visibly(self, tmp_path):
+    def test_unfaithful_requeue_fails_visibly(self, tmp_path, make_service):
         # A queued job whose rebuilt form no longer hashes to the
         # submitted content hash (config beyond spec budgets, or the
         # service restarted under different settings) must fail loudly,
@@ -605,7 +625,7 @@ class TestServiceDurability:
         # Durable: the store row is terminal, not forever-queued.
         assert revived._store.get_job(job_id).state == JOB_FAILED
 
-    def test_job_ids_continue_after_restart(self, tmp_path):
+    def test_job_ids_continue_after_restart(self, tmp_path, make_service):
         path = str(tmp_path / "store.db")
         service = make_service(path)
         ids = service.submit_specs([inline_spec()])
@@ -614,7 +634,7 @@ class TestServiceDurability:
         assert revived.submit_specs([inline_spec(threshold=3)]) == \
             ["job-000002"]
 
-    def test_cancellation_is_durable(self, tmp_path):
+    def test_cancellation_is_durable(self, tmp_path, make_service):
         path = str(tmp_path / "store.db")
         service = make_service(path)
         ids = service.submit_specs([inline_spec()])
@@ -623,7 +643,7 @@ class TestServiceDurability:
         assert revived.status_payload(ids[0])["state"] == "cancelled"
         assert revived.stats_payload()["jobs_requeued"] == 0
 
-    def test_unparseable_stored_spec_becomes_visible_failure(self, tmp_path):
+    def test_unparseable_stored_spec_becomes_visible_failure(self, tmp_path, make_service):
         path = str(tmp_path / "store.db")
         store = JobStore(path)
         store.record_job(
@@ -643,7 +663,7 @@ class TestServiceDurability:
         assert revived._store.get_job("job-000001").state == JOB_FAILED
         assert revived._store.gc(drop_terminal_jobs=True)["jobs_deleted"] == 1
 
-    def test_failed_jobs_keep_their_error_across_restart(self, tmp_path):
+    def test_failed_jobs_keep_their_error_across_restart(self, tmp_path, make_service):
         path = str(tmp_path / "store.db")
         service = make_service(path)
         ids = service.submit_specs([
