@@ -17,12 +17,13 @@ from collections.abc import Iterable, Mapping, Sequence
 
 from repro.errors import AbstractionError
 from repro.abstraction.tree import AbstractionTree
+from repro.seeding import DEFAULT_SEED
 
 
 def balanced_tree(
     annotations: Sequence[str],
     height: int,
-    seed: int = 0,
+    seed: int = DEFAULT_SEED,
     root_label: str = "*",
     category_prefix: str = "cat",
 ) -> AbstractionTree:
@@ -174,7 +175,7 @@ def tree_over_annotations(
     annotations: Sequence[str],
     n_leaves: int,
     height: int,
-    seed: int = 0,
+    seed: int = DEFAULT_SEED,
     must_include: Iterable[str] = (),
 ) -> AbstractionTree:
     """A balanced tree over a sample of ``annotations`` of size ``n_leaves``.

@@ -34,7 +34,7 @@ from typing import Optional, Union
 
 from repro.core.optimizer import OptimizerConfig, OptimizerStats
 from repro.errors import JobSpecError
-from repro.store.hashing import canonical_json, hash_parts
+from repro.store.hashing import KNOWN_MODES, canonical_json, hash_parts
 
 
 @dataclass(frozen=True)
@@ -181,13 +181,13 @@ class InlineJob:
 #: Every key a named-workload job spec may carry.
 NAMED_SPEC_KEYS = frozenset({
     "query_name", "threshold", "n_rows", "n_leaves", "height", "tag",
-    "max_candidates", "max_seconds",
+    "max_candidates", "max_seconds", "mode",
 })
 
 #: Every key an inline-context job spec may carry.
 INLINE_SPEC_KEYS = frozenset({
     "database", "tree", "query", "kexample", "threshold", "n_rows", "tag",
-    "max_candidates", "max_seconds",
+    "max_candidates", "max_seconds", "mode",
 })
 
 
@@ -253,6 +253,17 @@ def job_from_spec(
             )
     if "threshold" not in spec:
         raise JobSpecError("job spec needs a 'threshold'")
+    # The 'mode' slot is reserved for the dual search.  Specs may say
+    # "primal" explicitly (forward compatibility), but anything else must
+    # be rejected here, naming the field: silently running an unknown
+    # mode as a primal search would cache the wrong result under the
+    # dual job's future hash.
+    mode = spec.get("mode", "primal")
+    if mode not in KNOWN_MODES:
+        raise JobSpecError(
+            f"unknown job-spec 'mode' {mode!r} "
+            f"(known modes: {', '.join(KNOWN_MODES)})"
+        )
     threshold = _as_int(spec["threshold"], "threshold")
     config = _config_from_spec(spec, base_config)
     tag = str(spec.get("tag", ""))

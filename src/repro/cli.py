@@ -19,6 +19,8 @@ Subcommands
 ``poll``            poll job status/results or service stats
 ``jobs``            inspect or prune a persistent job store
                     (``list`` / ``show`` / ``gc``, see ``repro.store``)
+``scenarios``       run / list / diff the seeded scenario matrix and its
+                    ``BENCH_scenarios.json`` snapshots (``repro.scenarios``)
 ``privacy``         compute the privacy of a K-example / abstraction (Algorithm 1)
 ``attack``          list the CIM queries an adversary recovers
 ``evaluate``        run a query with provenance tracking
@@ -439,6 +441,95 @@ def cmd_jobs_gc(args) -> int:
     return 0
 
 
+def _scenario_matrix(args):
+    """The matrix the ``scenarios`` verbs operate on (preset or file)."""
+    from repro.errors import ScenarioError
+    from repro.scenarios import PRESETS, ScenarioMatrix
+
+    if getattr(args, "matrix", None):
+        data = _read_json_file(
+            args.matrix, "scenario-matrix", error_cls=ScenarioError
+        )
+        return ScenarioMatrix.from_dict(data)
+    return PRESETS[args.preset]
+
+
+def cmd_scenarios_run(args) -> int:
+    from repro.scenarios import run_matrix, save
+
+    matrix = _scenario_matrix(args)
+    snapshot = run_matrix(
+        matrix,
+        seed=args.seed,
+        executor=args.executor,
+        workers=args.workers,
+        store_path=args.store,
+    )
+    for cell in snapshot["cells"]:
+        marker = " (cached)" if cell["cache_hit"] else ""
+        if cell["found"]:
+            line = (f"privacy={cell['privacy']} loi={cell['loi']:.4f} "
+                    f"in {cell['seconds']:.2f}s")
+        else:
+            line = f"no abstraction within budget ({cell['seconds']:.2f}s)"
+        print(f"{cell['cell']}: {line}{marker}")
+    summary = snapshot["summary"]
+    print(
+        f"{summary['cells']} cells ({summary['found']} found, "
+        f"{summary['cache_hits']} cache hits): "
+        f"{summary['job_seconds']:.2f}s search, "
+        f"{snapshot['wall_seconds']:.2f}s wall on "
+        f"{snapshot['workers']} {snapshot['executor']} worker"
+        f"{'s' if snapshot['workers'] != 1 else ''}"
+    )
+    save(args.output, snapshot)
+    print(f"(snapshot written to {args.output})")
+    return 0
+
+
+def cmd_scenarios_list(args) -> int:
+    matrix = _scenario_matrix(args)
+    matrix.validate()
+    cells = matrix.cells()
+    for cell in cells:
+        print(cell.cell_id)
+    print(
+        f"({len(cells)} cells; axes: "
+        + ", ".join(f"{k}={v!r}" for k, v in sorted(
+            matrix.to_dict().items()))
+        + ")"
+    )
+    return 0
+
+
+def cmd_scenarios_diff(args) -> int:
+    from repro.scenarios import diff, load
+
+    report = diff(
+        load(args.old), load(args.new), tolerance=args.tolerance
+    )
+    for line in report.lines():
+        print(line)
+    if report.has_drift:
+        print(
+            f"FAIL: {len(report.drifted)} cell"
+            f"{'s' if len(report.drifted) != 1 else ''} changed result "
+            f"hash on identical inputs", file=sys.stderr,
+        )
+        return 1
+    if args.max_regression is not None:
+        fatal = [r for r in report.regressions
+                 if r["ratio"] > args.max_regression]
+        if fatal:
+            print(
+                f"FAIL: {len(fatal)} cell"
+                f"{'s' if len(fatal) != 1 else ''} slower than "
+                f"{args.max_regression:.2f}x", file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def cmd_privacy(args) -> int:
     database = _load_database(args.database)
     tree = _load_tree(args.tree)
@@ -651,6 +742,60 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also drop every done/failed/cancelled job "
                             "record (cached results stay)")
     p_jgc.set_defaults(func=cmd_jobs_gc)
+
+    p_scen = sub.add_parser(
+        "scenarios",
+        help="run / list / diff the seeded scenario matrix "
+             "(BENCH_scenarios.json snapshots)",
+    )
+    scen_sub = p_scen.add_subparsers(dest="scenarios_command", required=True)
+
+    def _add_matrix_flags(sp) -> None:
+        sp.add_argument("--preset", choices=("smoke", "full"),
+                        default="smoke", help="built-in scenario matrix")
+        sp.add_argument("--matrix",
+                        help="JSON file with matrix axes (overrides "
+                             "--preset; see repro.scenarios.ScenarioMatrix)")
+
+    p_srun = scen_sub.add_parser(
+        "run", help="materialize and run every cell, write a snapshot",
+    )
+    _add_matrix_flags(p_srun)
+    p_srun.add_argument("--seed", type=int, default=7,
+                        help="generator seed; the whole matrix is a pure "
+                             "function of (matrix, seed)")
+    p_srun.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default=EXECUTOR_NAMES[0],
+        help="job-service execution tier the cells fan out on",
+    )
+    p_srun.add_argument("--workers", type=_positive_int, default=2,
+                        help="concurrent workers on the chosen tier")
+    p_srun.add_argument("--store", default=None,
+                        help="persistent result-cache file: repeated cells "
+                             "(this run or any earlier one) are served "
+                             "from it instead of re-searching")
+    p_srun.add_argument("--output", default="BENCH_scenarios.json",
+                        help="snapshot file to write")
+    p_srun.set_defaults(func=cmd_scenarios_run)
+
+    p_slist = scen_sub.add_parser(
+        "list", help="print the matrix's cell ids without running anything",
+    )
+    _add_matrix_flags(p_slist)
+    p_slist.set_defaults(func=cmd_scenarios_list)
+
+    p_sdiff = scen_sub.add_parser(
+        "diff", help="compare two snapshots: result-hash drift is fatal, "
+                     "timing moves are reported",
+    )
+    p_sdiff.add_argument("old", help="baseline snapshot JSON")
+    p_sdiff.add_argument("new", help="candidate snapshot JSON")
+    p_sdiff.add_argument("--tolerance", type=float, default=1.5,
+                         help="per-cell slowdown ratio worth reporting")
+    p_sdiff.add_argument("--max-regression", type=float, default=None,
+                         help="fail (exit 1) when any cell is slower than "
+                              "this ratio; default: report only")
+    p_sdiff.set_defaults(func=cmd_scenarios_diff)
 
     p_priv = sub.add_parser("privacy", help="privacy of a (possibly abstracted) K-example")
     _add_common(p_priv)

@@ -16,6 +16,7 @@ import random
 
 from repro.db.database import KDatabase
 from repro.db.schema import Schema
+from repro.seeding import DEFAULT_SEED
 
 IMDB_SCHEMA = Schema.from_dict({
     "person": ["pid", "name", "birthyear", "country"],
@@ -35,7 +36,7 @@ _MOVIE_BASE = 500_000
 def generate_imdb(
     n_people: int = 120,
     n_movies: int = 80,
-    seed: int = 0,
+    seed: int = DEFAULT_SEED,
 ) -> KDatabase:
     """Generate an IMDB-style K-database with the paper's query patterns.
 

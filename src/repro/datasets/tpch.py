@@ -19,6 +19,7 @@ import random
 
 from repro.db.database import KDatabase
 from repro.db.schema import Schema
+from repro.seeding import DEFAULT_SEED
 
 TPCH_SCHEMA = Schema.from_dict({
     "region": ["regionkey", "name"],
@@ -61,7 +62,7 @@ _PART_BASE = 30_000
 _SUPP_BASE = 40_000
 
 
-def generate_tpch(scale: float = 0.01, seed: int = 0) -> KDatabase:
+def generate_tpch(scale: float = 0.01, seed: int = DEFAULT_SEED) -> KDatabase:
     """Generate a TPC-H K-database.
 
     ``scale`` mirrors the TPC-H scale factor proportionally: at 1.0 the

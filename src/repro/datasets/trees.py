@@ -15,13 +15,14 @@ from collections.abc import Iterable
 from repro.abstraction.builders import tree_from_categories
 from repro.abstraction.tree import AbstractionTree
 from repro.db.database import KDatabase
+from repro.seeding import DEFAULT_SEED
 
 
 def tpch_lineitem_tree(
     db: KDatabase,
     n_leaves: int = 1000,
     height: int = 5,
-    seed: int = 0,
+    seed: int = DEFAULT_SEED,
     must_include: Iterable[str] = (),
 ) -> AbstractionTree:
     """A balanced random tree over (a sample of) lineitem annotations.

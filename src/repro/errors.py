@@ -45,3 +45,7 @@ class JobSpecError(ReproError):
 
 class ServiceError(ReproError):
     """The job service rejected a request or could not be reached."""
+
+
+class ScenarioError(ReproError):
+    """A scenario matrix or benchmark snapshot is malformed."""

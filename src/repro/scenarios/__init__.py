@@ -1,0 +1,62 @@
+"""Seeded scenario-matrix harness with an in-repo perf trajectory.
+
+The paper's evaluation is a sweep: database scale x tree shape x query
+family x K-example size x threshold.  This package makes that sweep a
+first-class, reproducible artifact:
+
+* :mod:`repro.scenarios.matrix` — the declarative
+  :class:`ScenarioMatrix` and its seeded materialization into
+  content-addressable inline jobs,
+* :mod:`repro.scenarios.runner` — :func:`run_matrix`, which fans the
+  cells through the job service (thread or process tier, optional
+  persistent result cache),
+* :mod:`repro.scenarios.snapshot` — the ``BENCH_scenarios.json``
+  schema, the per-cell result hash, and :func:`diff` for comparing two
+  generations (result-hash drift is fatal; timing moves are trajectory).
+
+Driven by ``repro scenarios run | list | diff``; the committed
+``benchmarks/BENCH_scenarios.json`` baseline plus the CI scenario-smoke
+leg keep the trajectory honest (see ``docs/PERFORMANCE.md``).
+"""
+
+from repro.scenarios.matrix import (
+    FULL_MATRIX,
+    PRESETS,
+    SCALES,
+    SMOKE_MATRIX,
+    ScenarioCell,
+    ScenarioMatrix,
+    materialize,
+)
+from repro.scenarios.runner import run_matrix
+from repro.scenarios.snapshot import (
+    RESULT_HASH_FIELDS,
+    SNAPSHOT_SCHEMA,
+    VOLATILE_FIELDS,
+    SnapshotDiff,
+    diff,
+    load,
+    normalize,
+    result_hash,
+    save,
+)
+
+__all__ = [
+    "FULL_MATRIX",
+    "PRESETS",
+    "RESULT_HASH_FIELDS",
+    "SCALES",
+    "SMOKE_MATRIX",
+    "SNAPSHOT_SCHEMA",
+    "ScenarioCell",
+    "ScenarioMatrix",
+    "SnapshotDiff",
+    "VOLATILE_FIELDS",
+    "diff",
+    "load",
+    "materialize",
+    "normalize",
+    "result_hash",
+    "run_matrix",
+    "save",
+]

@@ -1,0 +1,140 @@
+"""Fan a scenario matrix through the job service and snapshot it.
+
+:func:`run_matrix` is the whole harness: materialize the matrix into
+seeded inline jobs, submit them to an in-process
+:class:`~repro.service.server.JobService` on the chosen execution tier
+(``thread`` or ``process``), wait for the stream to drain, and fold the
+per-cell outcomes into one ``BENCH_scenarios.json``-shaped snapshot
+(see :mod:`repro.scenarios.snapshot` for the schema and which fields
+are identity vs. trajectory).
+
+With a persistent store attached the run dedups against everything the
+store has ever seen: repeated cells — in this run, a previous run, or a
+run on the *other* execution tier — come back as ``cache_hit`` cells
+whose payload (timing included) is the original run's.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import ScenarioError
+from repro.scenarios.matrix import ScenarioMatrix, materialize
+from repro.scenarios.snapshot import SNAPSHOT_SCHEMA, result_hash
+from repro.service.server import JobService
+from repro.service.state import TERMINAL_STATES
+from repro.store import JobStore, job_content_hash
+
+#: How often the driver polls the service for terminal records.
+_POLL_SECONDS = 0.01
+
+
+def run_matrix(
+    matrix: ScenarioMatrix,
+    seed: int,
+    executor: str = "thread",
+    workers: int = 2,
+    store_path: Optional[str] = None,
+    settings=None,
+) -> dict:
+    """Run every cell of ``matrix`` and return the snapshot dict.
+
+    ``store_path`` attaches a persistent :class:`~repro.store.JobStore`
+    (shared across runs and execution tiers); ``None`` runs without
+    caching.  Any cell that fails aborts the whole run with a
+    :class:`ScenarioError` — a seeded, candidate-capped matrix has no
+    legitimate per-cell failures, so one is a bug, not a data point.
+    """
+    from repro.experiments.settings import DEFAULT_SETTINGS
+
+    matrix.validate()
+    settings = settings or DEFAULT_SETTINGS
+    jobs = materialize(matrix, seed)
+    store = JobStore(store_path) if store_path else None
+    service = JobService(
+        settings=settings,
+        worker_threads=max(1, workers),
+        max_queue=0,  # unbounded: the matrix is submitted all at once
+        store=store,
+        executor=executor,
+    )
+    started = time.time()
+    service.start()
+    try:
+        ids = [(cell, job, service.submit(job)) for cell, job in jobs]
+        cells = [
+            _cell_entry(cell, job, _await(service, job_id), settings)
+            for cell, job, job_id in ids
+        ]
+    finally:
+        service.shutdown()
+        if store is not None:
+            store.close()
+    wall = time.time() - started
+    failures = [c for c in cells if c.get("error")]
+    if failures:
+        first = failures[0]
+        raise ScenarioError(
+            f"{len(failures)} of {len(cells)} scenario cells failed; "
+            f"first: {first['cell']}: {first['error']}"
+        )
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "matrix": matrix.to_dict(),
+        "seed": seed,
+        "executor": executor,
+        "workers": max(1, workers),
+        "generated_at": started,
+        "wall_seconds": wall,
+        "summary": {
+            "cells": len(cells),
+            "found": sum(1 for c in cells if c["found"]),
+            "cache_hits": sum(1 for c in cells if c["cache_hit"]),
+            "job_seconds": sum(c["seconds"] for c in cells),
+            "candidates_scanned": sum(c["candidates_scanned"] for c in cells),
+        },
+        "cells": cells,
+    }
+
+
+def _await(service: JobService, job_id: str):
+    """Block until ``job_id`` is terminal; return its record."""
+    while True:
+        record = service.record(job_id)
+        if record.state in TERMINAL_STATES:
+            return record
+        time.sleep(_POLL_SECONDS)
+
+
+def _cell_entry(cell, job, record, settings) -> dict:
+    """One snapshot row: identity hashes + outcome + trajectory fields."""
+    result = record.result
+    if result is None:
+        return {
+            "cell": cell.cell_id, "axes": cell.axes(),
+            "error": record.error or f"job ended {record.state!r} "
+                                     f"with no result",
+            "found": False, "cache_hit": False, "seconds": 0.0,
+            "candidates_scanned": 0,
+        }
+    payload = result.to_payload()
+    return {
+        "cell": cell.cell_id,
+        "axes": cell.axes(),
+        "content_hash": job_content_hash(job, settings),
+        "result_hash": result_hash(payload),
+        "found": payload["found"],
+        "privacy": payload["privacy"],
+        "loi": payload["loi"],
+        "edges_used": payload["edges_used"],
+        "variable_targets": payload["variable_targets"],
+        "candidates_scanned": result.stats.candidates_scanned,
+        "privacy_computations": result.stats.privacy_computations,
+        # Trajectory (volatile) fields — see snapshot.VOLATILE_FIELDS.
+        "seconds": payload["seconds"],
+        "cache_hit": payload["cache_hit"],
+        "session_reused": payload["session_reused"],
+        "executor": record.executor,
+        "error": payload["error"],
+    }

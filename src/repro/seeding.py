@@ -1,0 +1,23 @@
+"""The one default seed shared by every deterministic generator.
+
+Historically :class:`~repro.experiments.settings.ExperimentSettings`
+defaulted its ``seed`` to 1 while the dataset/tree generators defaulted
+theirs to 0 — so calling :func:`repro.datasets.tpch.generate_tpch`
+directly produced *different* data than the experiment harness at the
+same scale, a silent trap for anyone comparing runs.  Every seeded
+generator default and the settings default now point here; callers on a
+settings-bearing path still pass ``settings.seed`` explicitly (see
+``repro.experiments.runner`` and ``repro.scenarios``), so this constant
+only matters for bare convenience calls.
+
+Kept dependency-free so the lowest layers (``repro.abstraction``,
+``repro.datasets``) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+#: The default for every ``seed=`` parameter of the data/tree generators
+#: and for ``ExperimentSettings.seed``.  Value 1 preserves the historical
+#: experiment-harness contexts (and therefore every named-workload
+#: content hash computed under default settings).
+DEFAULT_SEED = 1

@@ -25,7 +25,9 @@ What goes into :func:`job_content_hash`:
   settings-level budgets exactly as ``run_job`` would apply them, every
   switch included (privacy and consistency knobs change results),
 * the **search mode** (``"primal"`` today; jobs that grow a ``mode``
-  attribute — e.g. a dual search — hash differently automatically).
+  attribute — e.g. a dual search — hash differently automatically once
+  the mode is registered in :data:`KNOWN_MODES`; an unregistered mode is
+  rejected rather than hashed).
 
 Inline jobs deliberately exclude the settings: their context is fully
 self-describing, so the same user data + config shares one cache entry
@@ -43,6 +45,14 @@ from typing import Optional
 #: Bumped whenever the hash inputs or payload layout change shape, so a
 #: store written by an older code version can never serve a stale result.
 HASH_VERSION = "repro-job-v1"
+
+#: The search modes the job layer understands.  The ``mode`` slot is
+#: reserved for the dual search ("max privacy under an LOI cap"); until a
+#: dual job type exists, "primal" is the only value that may reach a
+#: content hash — an unknown mode must fail loudly *before* hashing, or a
+#: future dual job run by today's code would be filed (and cached!) as a
+#: primal result.
+KNOWN_MODES = ("primal",)
 
 
 def canonical_json(data) -> str:
@@ -181,6 +191,14 @@ def job_content_hash(job, settings) -> str:
     :class:`~repro.experiments.settings.ExperimentSettings` the run
     executes under.  ``tag`` is a display label and never participates.
     """
+    mode = getattr(job, "mode", "primal")
+    if mode not in KNOWN_MODES:
+        from repro.errors import JobSpecError
+
+        raise JobSpecError(
+            f"unknown search mode {mode!r} "
+            f"(known modes: {', '.join(KNOWN_MODES)})"
+        )
     inline_context = getattr(job, "context", None)
     if inline_context is not None:
         context_part = {"inline": inline_context.content_hash()}
@@ -194,7 +212,7 @@ def job_content_hash(job, settings) -> str:
         }
     return hash_text(canonical_json({
         "version": HASH_VERSION,
-        "mode": getattr(job, "mode", "primal"),
+        "mode": mode,
         "threshold": job.threshold,
         "config": jsonable(effective_config(job, settings)),
         "context": context_part,

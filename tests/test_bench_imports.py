@@ -1,0 +1,54 @@
+"""Import-smoke: every ``benchmarks/bench_*.py`` must load cleanly.
+
+The benchmark scripts are run ad hoc (``pytest benchmarks/`` or their
+module mains), so an import-time breakage — a renamed helper in
+``_common``, an API move in the library — historically surfaced only
+when someone next ran the benchmarks.  Importing each module here makes
+that a tier-1 failure instead.  Import must also be side-effect-free:
+anything slow (or file-writing) belongs under ``main()``/test bodies.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_FILES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def _import_bench(path: Path):
+    # The scripts do ``from _common import ...`` relative to their own
+    # directory (benchmarks/conftest.py arranges this for pytest runs),
+    # so mirror that sys.path arrangement here.
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        name = f"bench_smoke_{path.stem}"
+        spec = importlib.util.spec_from_file_location(name, path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[name] = module
+        try:
+            spec.loader.exec_module(module)
+        finally:
+            sys.modules.pop(name, None)
+        return module
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+def test_the_benchmark_suite_is_present():
+    assert len(BENCH_FILES) >= 20, [p.name for p in BENCH_FILES]
+
+
+@pytest.mark.parametrize(
+    "path", BENCH_FILES, ids=[p.stem for p in BENCH_FILES]
+)
+def test_benchmark_module_imports(path):
+    module = _import_bench(path)
+    # Every bench module is a pytest file: it must expose at least one
+    # collectable test or benchmark function.
+    assert any(name.startswith(("test_", "bench_")) for name in dir(module)), \
+        f"{path.name} defines no test_*/bench_* callables"
