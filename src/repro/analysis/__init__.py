@@ -1,0 +1,47 @@
+"""``repro.analysis`` — the invariant-enforcing static-analysis suite.
+
+The system's headline guarantees are *invariants*, not features:
+content hashes must be bit-identical across processes and executor
+tiers, ``to_payload``/``from_payload`` must round-trip losslessly, and
+no thread may block the service on I/O while holding its state lock.
+Tests exercise those promises on specific inputs; this package checks
+the *code shape* that upholds them, over the whole tree, on every run
+of ``repro lint`` (and the tier-1 self-test).
+
+Public surface:
+
+* :func:`analyze_paths` — run the suite, get an
+  :class:`~repro.analysis.engine.AnalysisReport`.
+* :func:`all_rules` / :func:`get_rules` — the registry.
+* :class:`~repro.analysis.findings.Finding` — one violation.
+* ``# repro: allow[REP00N]`` — per-line suppression (unused
+  suppressions are themselves findings, rule ``REP000``).
+
+See ``docs/ANALYSIS.md`` for the rule catalog and how to add a rule.
+"""
+
+from repro.analysis.engine import (
+    REPORT_SCHEMA,
+    AnalysisReport,
+    analyze_paths,
+    collect_files,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.project import DEFAULT_HASH_ROOTS, Project, parse_module
+from repro.analysis.registry import Rule, all_rules, get_rules
+from repro.analysis.suppress import UNUSED_SUPPRESSION_RULE
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "AnalysisReport",
+    "analyze_paths",
+    "collect_files",
+    "Finding",
+    "DEFAULT_HASH_ROOTS",
+    "Project",
+    "parse_module",
+    "Rule",
+    "all_rules",
+    "get_rules",
+    "UNUSED_SUPPRESSION_RULE",
+]

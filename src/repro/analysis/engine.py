@@ -1,0 +1,138 @@
+"""The analysis driver: collect files, run rules, apply suppressions.
+
+:func:`analyze_paths` is the whole pipeline — ``repro lint`` and the
+in-process tier-1 self-test (``tests/test_lint_self.py``) both call it:
+
+1. expand the given paths to ``.py`` files (directories recurse),
+2. parse everything into a :class:`~repro.analysis.project.Project`
+   (one shared import graph, so REP001's reachability sees the whole
+   package even when a single file is being linted),
+3. run the selected rules per module,
+4. drop findings silenced by ``# repro: allow[rule-id]`` comments and
+   add an ``REP000`` finding for every suppression that silenced
+   nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    DEFAULT_HASH_ROOTS,
+    ModuleInfo,
+    Project,
+    parse_module,
+)
+from repro.analysis.registry import Rule, get_rules
+from repro.analysis.suppress import scan_suppressions
+from repro.errors import AnalysisError
+
+#: Schema identifier for ``repro lint --format json`` output.
+REPORT_SCHEMA = "repro-lint-v1"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        """The ``--format json`` document."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "findings": [f.to_dict() for f in self.findings],
+            "counts": self.counts_by_rule(),
+            "ok": self.ok,
+        }
+
+    def render_lines(self) -> list[str]:
+        """The text report: one line per finding plus a summary line."""
+        lines = [finding.render() for finding in self.findings]
+        if self.findings:
+            counts = ", ".join(
+                f"{rule} x{n}" for rule, n in self.counts_by_rule().items()
+            )
+            lines.append(
+                f"{len(self.findings)} finding"
+                f"{'s' if len(self.findings) != 1 else ''} "
+                f"in {self.files_checked} files ({counts})"
+            )
+        else:
+            lines.append(
+                f"clean: {self.files_checked} files, "
+                f"{len(self.rules_run)} rules, 0 findings"
+            )
+        return lines
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories to a sorted, de-duplicated ``.py`` list."""
+    seen: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            seen.update(p for p in path.rglob("*.py"))
+        elif path.is_file():
+            seen.add(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(seen)
+
+
+def build_project(
+    files: Sequence[Path],
+    hash_roots: tuple[str, ...] = DEFAULT_HASH_ROOTS,
+) -> Project:
+    return Project(
+        (parse_module(path) for path in files), hash_roots=hash_roots
+    )
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rule_ids: Optional[Sequence[str]] = None,
+    hash_roots: tuple[str, ...] = DEFAULT_HASH_ROOTS,
+) -> AnalysisReport:
+    """Run the suite over ``paths`` (see module docstring)."""
+    files = collect_files(paths)
+    rules = get_rules(rule_ids)
+    project = build_project(files, hash_roots=hash_roots)
+    report = AnalysisReport(
+        files_checked=len(project.modules),
+        rules_run=[rule.id for rule in rules],
+    )
+    for module in project.modules:
+        report.findings.extend(_check_module(module, project, rules))
+    report.findings.sort(key=lambda f: f.sort_key)
+    return report
+
+
+def _check_module(
+    module: ModuleInfo, project: Project, rules: Sequence[Rule]
+) -> list[Finding]:
+    suppressions = scan_suppressions(module.source)
+    kept: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(module, project):
+            if not suppressions.matches(finding.rule, finding.line):
+                kept.append(finding)
+    kept.extend(suppressions.unused(module.display_path))
+    return kept

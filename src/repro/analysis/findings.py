@@ -1,0 +1,40 @@
+"""Finding: one rule violation, pinned to a source span.
+
+Findings are plain data — the engine produces them, the formatters in
+:mod:`repro.analysis.engine` and the ``repro lint`` CLI render them.
+They sort by location (path, line, column, rule id) so reports are
+stable across runs and dict orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``--format json`` item schema)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

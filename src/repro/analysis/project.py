@@ -1,0 +1,227 @@
+"""The analyzed file set: parsed modules, names, and the import graph.
+
+Rules that reason about *one* module get everything they need from
+:class:`ModuleInfo`; rules that reason about module *relationships*
+(REP001's "which modules feed the content hashes?") ask the
+:class:`Project` for reachability over the import graph.
+
+Import edges include function-level (lazy) imports — the hashing layer
+imports :mod:`repro.batch.jobs` lazily to break a cycle, and a
+determinism bug in a lazily-imported feeder is exactly as fatal as one
+imported at module scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.errors import AnalysisError
+
+#: The modules whose (transitive) imports feed content-hash inputs: the
+#: canonical job hash and the scenario snapshot result hashes.  Anything
+#: these modules can reach — even via a lazy import — shapes bytes that
+#: must be bit-identical across processes, machines, and restarts.
+DEFAULT_HASH_ROOTS = (
+    "repro.store.hashing",
+    "repro.scenarios.snapshot",
+    "repro.scenarios.matrix",
+)
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name of ``path``, by walking up ``__init__.py``.
+
+    A file outside any package gets its bare stem (no dots); the
+    engine's rules treat such standalone modules conservatively (see
+    :class:`Project.hash_feeding`).
+    """
+    path = path.resolve()
+    parts = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path
+    name: str
+    source: str
+    tree: ast.Module
+    #: Local name -> dotted origin for every import in the file (any
+    #: scope): ``import time as t`` maps ``t -> time``; ``from datetime
+    #: import datetime`` maps ``datetime -> datetime.datetime``.
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def display_path(self) -> str:
+        try:
+            return str(self.path.relative_to(Path.cwd()))
+        except ValueError:
+            return str(self.path)
+
+
+def parse_module(path: Path) -> ModuleInfo:
+    """Read and parse one file; failures raise :class:`AnalysisError`."""
+    try:
+        source = path.read_text()
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {path}: {exc}") from None
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise AnalysisError(
+            f"cannot parse {path}: line {exc.lineno}: {exc.msg}"
+        ) from None
+    info = ModuleInfo(
+        path=path, name=module_name_for(path), source=source, tree=tree
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                info.aliases[local] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.aliases[local] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+    return info
+
+
+def resolve_call_chain(module: ModuleInfo, func: ast.expr) -> Optional[str]:
+    """The dotted origin of a call target, through the module's imports.
+
+    ``t.time`` under ``import time as t`` resolves to ``time.time``;
+    ``datetime.now`` under ``from datetime import datetime`` resolves to
+    ``datetime.datetime.now``.  Chains whose root is not an import
+    (``self._store.save_result``) resolve with the local root name kept,
+    so callers can still pattern-match on the receiver.
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.insert(0, node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = module.aliases.get(node.id, node.id)
+    return ".".join([root, *parts])
+
+
+class Project:
+    """The full analyzed file set plus its intra-project import graph."""
+
+    def __init__(
+        self,
+        modules: Iterable[ModuleInfo],
+        hash_roots: tuple[str, ...] = DEFAULT_HASH_ROOTS,
+    ):
+        self.modules: list[ModuleInfo] = sorted(
+            modules, key=lambda m: str(m.path)
+        )
+        self.by_name: dict[str, ModuleInfo] = {
+            m.name: m for m in self.modules if m.name
+        }
+        self.hash_roots = tuple(hash_roots)
+        self._edges: Optional[dict[str, set[str]]] = None
+        self._hash_feeding: Optional[set[str]] = None
+
+    # -- import graph ------------------------------------------------------
+
+    def _resolve_relative(self, module: ModuleInfo, node: ast.ImportFrom) -> str:
+        pkg_parts = module.name.split(".")
+        if module.path.stem != "__init__":
+            pkg_parts = pkg_parts[:-1]
+        hops = node.level - 1
+        if hops:
+            pkg_parts = pkg_parts[:-hops] if hops < len(pkg_parts) else []
+        base = ".".join(pkg_parts)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+        return base
+
+    def edges(self) -> dict[str, set[str]]:
+        """module name -> imported *project* module names (lazy imports too)."""
+        if self._edges is not None:
+            return self._edges
+        graph: dict[str, set[str]] = {}
+        for module in self.modules:
+            targets: set[str] = set()
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        self._add_known(targets, alias.name)
+                elif isinstance(node, ast.ImportFrom):
+                    if node.level == 0:
+                        base = node.module or ""
+                    else:
+                        base = self._resolve_relative(module, node)
+                    self._add_known(targets, base)
+                    for alias in node.names:
+                        if alias.name != "*" and base:
+                            self._add_known(
+                                targets, f"{base}.{alias.name}"
+                            )
+            graph[module.name] = targets
+        self._edges = graph
+        return graph
+
+    def _add_known(self, targets: set[str], dotted: str) -> None:
+        """Add the most specific project module ``dotted`` names.
+
+        Only the longest matching prefix is recorded: ``from
+        repro.store.hashing import x`` is an edge to the hashing module,
+        *not* to the ``repro.store`` re-export hub it incidentally
+        executes — a hub edge would drag every sibling (the SQLite
+        job store, with its legitimate wall-clock timestamps) into
+        REP001's hash-feeding closure.
+        """
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            name = ".".join(parts[:end])
+            if name in self.by_name:
+                targets.add(name)
+                return
+
+    # -- hash-feeding reachability (REP001's scope) ------------------------
+
+    @property
+    def hash_feeding(self) -> set[str]:
+        """Module names reachable from the configured hash roots.
+
+        When *none* of the roots exist in the analyzed set (a standalone
+        file, a fixture without the real package), every module is
+        considered hash-feeding — the conservative reading keeps the
+        determinism rule meaningful on partial inputs.
+        """
+        if self._hash_feeding is not None:
+            return self._hash_feeding
+        roots = [r for r in self.hash_roots if r in self.by_name]
+        if not roots:
+            self._hash_feeding = set(self.by_name)
+            return self._hash_feeding
+        seen: set[str] = set()
+        frontier = list(roots)
+        edges = self.edges()
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            frontier.extend(edges.get(name, ()) - seen)
+        self._hash_feeding = seen
+        return seen

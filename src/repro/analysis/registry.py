@@ -1,0 +1,79 @@
+"""The rule registry: id -> (metadata, checker).
+
+A rule is a function ``check(module, project) -> iterable of Finding``
+registered under a stable id (``REP001``...).  Registration happens at
+import time of :mod:`repro.analysis.rules`; the registry is what the
+engine iterates and what ``repro lint --rules`` filters against.
+
+Adding a rule (see ``docs/ANALYSIS.md`` for the worked example):
+
+1. write ``check(module: ModuleInfo, project: Project)`` in a module
+   under ``repro/analysis/rules/``,
+2. decorate it with ``@rule("REP00N", name=..., summary=...)``,
+3. import the module from ``repro/analysis/rules/__init__.py``,
+4. add positive/negative fixtures under ``tests/fixtures/lint/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.errors import AnalysisError
+
+Checker = Callable[[ModuleInfo, Project], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check."""
+
+    id: str
+    name: str
+    summary: str
+    check: Checker
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, name: str, summary: str) -> Callable[[Checker], Checker]:
+    """Register ``check`` under ``rule_id`` (decorator)."""
+
+    def decorator(check: Checker) -> Checker:
+        if rule_id in _REGISTRY:
+            raise AnalysisError(f"duplicate rule id {rule_id!r}")
+        _REGISTRY[rule_id] = Rule(
+            id=rule_id, name=name, summary=summary, check=check
+        )
+        return check
+
+    return decorator
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in id order."""
+    _ensure_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rules(ids: Optional[Sequence[str]] = None) -> list[Rule]:
+    """The rules named by ``ids`` (or all); unknown ids raise."""
+    _ensure_loaded()
+    if ids is None:
+        return all_rules()
+    unknown = [rule_id for rule_id in ids if rule_id not in _REGISTRY]
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule id{'s' if len(unknown) > 1 else ''} "
+            f"{', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(_REGISTRY))})"
+        )
+    return [_REGISTRY[rule_id] for rule_id in sorted(set(ids))]
+
+
+def _ensure_loaded() -> None:
+    """Import the built-in rule modules so they self-register."""
+    from repro.analysis import rules  # noqa: F401  (import-for-effect)

@@ -1,0 +1,21 @@
+"""Built-in rules; importing this package registers them all.
+
+Rule catalog (see ``docs/ANALYSIS.md`` for examples and rationale):
+
+========  ==================  ===========================================
+REP000    (reserved)          unused ``# repro: allow[...]`` suppression
+REP001    determinism         no wall-clock/entropy on hash-feeding paths
+REP002    payload-parity      ``to_payload``/``from_payload`` round trips
+REP003    lock-discipline     no I/O while holding service/store locks
+REP004    exception-hygiene   no bare/silent ``except``
+REP005    seed-plumbing       ``seed=`` defaults to ``DEFAULT_SEED``
+========  ==================  ===========================================
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (import-for-effect)
+    determinism,
+    exception_hygiene,
+    lock_discipline,
+    payload_parity,
+    seed_plumbing,
+)

@@ -1,0 +1,103 @@
+"""REP001 — determinism on hash-feeding paths.
+
+The store's content hashes and the scenario snapshots' result hashes
+promise: same inputs, same bytes, on any machine, in any process, after
+any restart.  Any module that (transitively) feeds those hash inputs —
+reachable by import from :data:`repro.analysis.project.DEFAULT_HASH_ROOTS`
+— must therefore never read wall-clock time, unseeded randomness, OS
+entropy, or CPython object identity:
+
+* ``time.time()`` / ``time.time_ns()`` — wall clock.  Durations belong
+  to ``time.perf_counter()``/``time.monotonic()`` (allowed: they only
+  feed *volatile* fields, never hashes).
+* ``datetime.now()`` / ``utcnow()`` / ``today()`` — wall clock again.
+* module-level ``random.*`` calls and argument-less ``random.Random()``
+  — process-global or time-seeded randomness.  ``random.Random(seed)``
+  with an explicit seed is the sanctioned pattern.
+* ``os.urandom`` / ``uuid.uuid1`` / ``uuid.uuid4`` — entropy.
+* ``id(...)`` — a CPython address, different every run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project, resolve_call_chain
+from repro.analysis.registry import rule
+
+_BANNED = {
+    "time.time": "wall-clock time; use time.perf_counter() for durations",
+    "time.time_ns": "wall-clock time; use time.perf_counter_ns() for durations",
+    "datetime.datetime.now": "wall-clock time",
+    "datetime.datetime.utcnow": "wall-clock time",
+    "datetime.datetime.today": "wall-clock time",
+    "datetime.date.today": "wall-clock time",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived identifier",
+    "uuid.uuid4": "entropy-derived identifier",
+}
+
+#: ``random.<fn>`` module-level calls use the process-global,
+#: time-seeded generator; everything except the ``Random`` constructor
+#: (with an explicit seed) is banned on hash-feeding paths.
+_RANDOM_MODULE = "random"
+_RANDOM_CLASS = "random.Random"
+
+
+@rule(
+    "REP001",
+    name="determinism",
+    summary=(
+        "no wall-clock, unseeded randomness, entropy, or id() in modules "
+        "feeding store.hashing / scenarios.snapshot hash inputs"
+    ),
+)
+def check_determinism(
+    module: ModuleInfo, project: Project
+) -> Iterator[Finding]:
+    if module.name not in project.hash_feeding:
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        message = _diagnose(module, node)
+        if message is not None:
+            yield Finding(
+                rule="REP001",
+                path=module.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=f"{message} (this module is reachable from "
+                        f"the content-hash inputs and must be "
+                        f"bit-reproducible)",
+            )
+
+
+def _diagnose(module: ModuleInfo, node: ast.Call) -> "str | None":
+    if isinstance(node.func, ast.Name):
+        # `id` is only interesting as the builtin; a local rebinding of
+        # the name would shadow it out of alias resolution anyway.
+        if node.func.id == "id" and "id" not in module.aliases:
+            return "id() leaks a CPython object address"
+        return None
+    chain = resolve_call_chain(module, node.func)
+    if chain is None:
+        return None
+    if chain in _BANNED:
+        return f"{chain}() is nondeterministic: {_BANNED[chain]}"
+    if chain == _RANDOM_CLASS:
+        if not node.args and not node.keywords:
+            return (
+                "random.Random() without a seed falls back to OS "
+                "entropy; pass an explicit seed"
+            )
+        return None
+    root, _, rest = chain.partition(".")
+    if root == _RANDOM_MODULE and rest and "." not in rest:
+        return (
+            f"{chain}() uses the process-global random generator; "
+            f"use an explicit random.Random(seed)"
+        )
+    return None

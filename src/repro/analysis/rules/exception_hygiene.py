@@ -1,0 +1,106 @@
+"""REP004 — exception hygiene: never swallow failures silently.
+
+Two shapes are flagged, anywhere in the tree:
+
+* **bare ``except:``** — catches ``KeyboardInterrupt`` and
+  ``SystemExit`` along with everything else; at minimum it must be
+  ``except Exception``.
+* **silently swallowed repro errors** — an ``except`` clause naming
+  :class:`~repro.errors.ReproError` (or any of its subclasses, or the
+  catch-alls ``Exception``/``BaseException`` that include them) whose
+  body does nothing but ``pass``.  A library error is a *result*: it
+  must be re-raised, converted into an error result
+  (``BatchJobResult.from_error``, an ``error:`` line, a degraded-mode
+  return), or handled with actual logic.  Handlers that count, continue
+  a loop with semantics, substitute a fallback value, or narrow the
+  failure are all fine — the rule only rejects the empty body.
+
+The service's deliberate best-effort pattern — ``except sqlite3.Error:
+pass`` around durability writes — is *not* flagged: ``sqlite3.Error``
+is not a repro error, and the store being best-effort is documented
+policy there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.registry import rule
+
+#: Exception names whose silent swallowing hides library failures: the
+#: whole repro hierarchy plus the catch-alls that contain it.
+_GUARDED_NAMES = frozenset({
+    "ReproError", "SchemaError", "ParseError", "EvaluationError",
+    "AbstractionError", "SemiringError", "OptimizationError",
+    "JobSpecError", "ServiceError", "ScenarioError", "AnalysisError",
+    "Exception", "BaseException",
+})
+
+
+@rule(
+    "REP004",
+    name="exception-hygiene",
+    summary=(
+        "no bare except:, no pass-only handlers swallowing ReproError "
+        "(or Exception catch-alls)"
+    ),
+)
+def check_exception_hygiene(
+    module: ModuleInfo, project: Project
+) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield Finding(
+                rule="REP004",
+                path=module.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    "bare `except:` catches KeyboardInterrupt/SystemExit; "
+                    "name the exceptions (at minimum `except Exception`)"
+                ),
+            )
+            continue
+        guarded = _guarded_names(node.type)
+        if guarded and _is_silent(node.body):
+            yield Finding(
+                rule="REP004",
+                path=module.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"`except {', '.join(sorted(guarded))}: pass` swallows "
+                    f"a library failure silently; re-raise it, convert it "
+                    f"to an error result, or handle it with real logic"
+                ),
+            )
+
+
+def _guarded_names(type_expr: ast.expr) -> set[str]:
+    """The guarded exception names this handler catches."""
+    names: set[str] = set()
+    candidates = (
+        type_expr.elts if isinstance(type_expr, ast.Tuple) else [type_expr]
+    )
+    for expr in candidates:
+        if isinstance(expr, ast.Name) and expr.id in _GUARDED_NAMES:
+            names.add(expr.id)
+        elif isinstance(expr, ast.Attribute) and expr.attr in _GUARDED_NAMES:
+            names.add(expr.attr)
+    return names
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """True when the handler body is only ``pass`` / docstring-like consts."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True

@@ -1,0 +1,148 @@
+"""REP003 — no I/O under a held lock in the service and store layers.
+
+The job service's ``self._lock`` guards in-memory record state and is
+taken on every submit/status/stats/worker transition; a SQLite commit
+(or any file/network wait) executed while holding it freezes *every*
+endpoint for the duration of the I/O — the exact incident class PR 4
+hardened against ("store I/O kept outside the service lock").
+
+Flagged while a ``with <...lock...>:`` block is held, in modules under
+a ``service`` or ``store`` package:
+
+* ``open(...)`` and ``Path.read_*``/``write_*`` — file I/O;
+* ``sqlite3.connect(...)`` — opening a database;
+* ``urllib.*`` / ``http.client.*`` / ``socket.*`` / ``requests.*`` —
+  network I/O;
+* ``time.sleep`` — waiting while others spin on the lock;
+* any call whose receiver names the store/cache layer
+  (``self._store.update_job(...)``, ``cache.lookup(...)``) — the
+  store serializes its own I/O behind its *own* lock, and calling into
+  it with the service lock held stacks the waits.
+
+Deliberately *not* flagged: ``self._conn.execute(...)`` inside
+:class:`repro.store.jobstore.JobStore` — that lock exists precisely to
+serialize the one shared connection, and the writes it guards are the
+short, bounded kind.  The rule polices callers that hold an unrelated
+state lock across the store boundary, not the store's own discipline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project, resolve_call_chain
+from repro.analysis.registry import rule
+
+#: Packages whose modules this rule applies to (any path segment).
+_SCOPED_PACKAGES = ("service", "store")
+
+_NETWORK_ROOTS = ("urllib", "socket", "requests")
+_IO_CHAINS = {"sqlite3.connect", "time.sleep", "http.client"}
+_FILE_METHODS = {
+    "read_text", "write_text", "read_bytes", "write_bytes", "unlink",
+}
+_STORE_RECEIVERS = ("store", "cache")
+
+
+@rule(
+    "REP003",
+    name="lock-discipline",
+    summary=(
+        "no sqlite/file/network I/O (or store-layer calls) while "
+        "holding a lock in service/ and store/ modules"
+    ),
+)
+def check_lock_discipline(
+    module: ModuleInfo, project: Project
+) -> Iterator[Finding]:
+    parts = {p.lower() for p in module.path.parts} | set(
+        module.name.split(".")
+    )
+    if not parts.intersection(_SCOPED_PACKAGES):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        if not any(_is_lock_expr(item.context_expr) for item in node.items):
+            continue
+        for call in _calls_in_block(node.body):
+            message = _diagnose(module, call)
+            if message is not None:
+                yield Finding(
+                    rule="REP003",
+                    path=module.display_path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"{message} inside a `with lock:` block "
+                        f"(line {node.lineno}); do the I/O before or "
+                        f"after holding the lock"
+                    ),
+                )
+
+
+def _is_lock_expr(expr: ast.expr) -> bool:
+    """`self._lock`, `some_lock`, `self.lock.acquire_ctx()`-ish names."""
+    if isinstance(expr, ast.Attribute):
+        return "lock" in expr.attr.lower()
+    if isinstance(expr, ast.Name):
+        return "lock" in expr.id.lower()
+    return False
+
+
+def _calls_in_block(body: list[ast.stmt]) -> Iterator[ast.Call]:
+    """Every call in ``body``, not descending into nested defs/lambdas.
+
+    Code inside a nested function definition runs when *that* function
+    is called, not while this lock is held.
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                   ast.ClassDef)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _diagnose(module: ModuleInfo, call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name) and call.func.id == "open":
+        return "open() performs file I/O"
+    chain = resolve_call_chain(module, call.func)
+    if chain is None:
+        return None
+    if chain in _IO_CHAINS or any(
+        chain.startswith(prefix + ".") for prefix in _IO_CHAINS
+    ):
+        return f"{chain}() blocks on I/O or sleeps"
+    root = chain.split(".", 1)[0]
+    if root in _NETWORK_ROOTS:
+        return f"{chain}() performs network I/O"
+    if isinstance(call.func, ast.Attribute):
+        receiver = _receiver_name(call.func)
+        if receiver is not None:
+            lowered = receiver.lower()
+            if call.func.attr in _FILE_METHODS and "path" in lowered:
+                return f"{receiver}.{call.func.attr}() performs file I/O"
+            if any(marker in lowered for marker in _STORE_RECEIVERS):
+                return (
+                    f"{receiver}.{call.func.attr}() calls into the "
+                    f"store/cache layer (SQLite I/O behind its own lock)"
+                )
+    return None
+
+
+def _receiver_name(func: ast.Attribute) -> Optional[str]:
+    """The last name segment of the call receiver (`self._store` -> _store)."""
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return None

@@ -1,0 +1,162 @@
+"""REP002 — ``to_payload`` / ``from_payload`` parity.
+
+Results cross every boundary in this system — process pools, the HTTP
+result endpoint, the content-addressed store — as ``to_payload()``
+dictionaries, rebuilt with ``from_payload()``.  The round trip is only
+lossless if the two methods agree, and history says they drift: the
+``cache_hit`` and ``session_reused`` fields were each added to the
+dataclass first and to the payload later, silently zeroing the flag for
+every consumer on the far side of a boundary.
+
+The rule checks, per class:
+
+* a class defining ``to_payload`` must define ``from_payload``;
+* every payload key whose value is read from the object's **own state**
+  (a direct ``self.<attr>`` access) must be read back in
+  ``from_payload`` (``payload["k"]`` / ``payload.get("k")`` /
+  ``payload.pop("k")``).
+
+Keys derived from *nested* attributes (``self.job.query_name``) are
+exempt: they are spec-side display fields, reconstructed from the
+companion object ``from_payload`` receives, not payload state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.registry import rule
+
+
+@rule(
+    "REP002",
+    name="payload-parity",
+    summary=(
+        "every to_payload needs a from_payload reading back each "
+        "own-state field it writes"
+    ),
+)
+def check_payload_parity(
+    module: ModuleInfo, project: Project
+) -> Iterator[Finding]:
+    for class_node in ast.walk(module.tree):
+        if not isinstance(class_node, ast.ClassDef):
+            continue
+        to_payload = _method(class_node, "to_payload")
+        if to_payload is None:
+            continue
+        from_payload = _method(class_node, "from_payload")
+        if from_payload is None:
+            yield Finding(
+                rule="REP002",
+                path=module.display_path,
+                line=to_payload.lineno,
+                col=to_payload.col_offset,
+                message=(
+                    f"class {class_node.name} defines to_payload but no "
+                    f"from_payload: the payload cannot round-trip"
+                ),
+            )
+            continue
+        read_keys = _read_keys(from_payload)
+        for key, key_node in _written_state_keys(to_payload):
+            if key not in read_keys:
+                yield Finding(
+                    rule="REP002",
+                    path=module.display_path,
+                    line=key_node.lineno,
+                    col=key_node.col_offset,
+                    message=(
+                        f"{class_node.name}.to_payload writes "
+                        f"{key!r} from own state but "
+                        f"{class_node.name}.from_payload never reads "
+                        f"it: the field is silently dropped on the "
+                        f"round trip"
+                    ),
+                )
+
+
+def _method(
+    class_node: ast.ClassDef, name: str
+) -> Optional[ast.FunctionDef]:
+    for node in class_node.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == name:
+                return node  # type: ignore[return-value]
+    return None
+
+
+def _written_state_keys(
+    func: ast.FunctionDef,
+) -> Iterator[tuple[str, ast.expr]]:
+    """(key, key node) for every payload key valued from direct self state."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for key_node, value in zip(node.keys, node.values):
+                if (
+                    isinstance(key_node, ast.Constant)
+                    and isinstance(key_node.value, str)
+                    and _reads_own_state(value)
+                ):
+                    yield key_node.value, key_node
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                    and _reads_own_state(node.value)
+                ):
+                    yield target.slice.value, target.slice
+
+
+def _reads_own_state(value: ast.expr) -> bool:
+    """True when ``value`` contains a *direct* ``self.<attr>`` read.
+
+    ``self.loi`` and ``asdict(self.stats)`` qualify; ``self.job.tag``
+    does not — there the ``self.job`` node is merely the receiver of a
+    deeper attribute access, i.e. companion-object data.
+    """
+    direct: set[ast.Attribute] = set()
+    for node in ast.walk(value):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            direct.add(node)
+    if not direct:
+        return False
+    # Drop the self.<attr> nodes that are receivers of an enclosing
+    # attribute access (self.job in self.job.tag).
+    for node in ast.walk(value):
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Attribute
+        ):
+            direct.discard(node.value)
+    return bool(direct)
+
+
+def _read_keys(func: ast.FunctionDef) -> set[str]:
+    """String keys ``from_payload`` reads via ``[k]`` / ``.get`` / ``.pop``."""
+    keys: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            keys.add(node.slice.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("get", "pop")
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            keys.add(node.args[0].value)
+    return keys

@@ -1,0 +1,81 @@
+"""REP005 — seed plumbing: one default seed, defined once.
+
+PR 6 unified the historic seed-default mismatch (generators defaulted
+``0`` while ``ExperimentSettings`` defaulted ``1`` — so a bare
+``generate_tpch()`` silently produced different data than the
+experiment harness) behind :data:`repro.seeding.DEFAULT_SEED`.  This
+rule keeps it unified: any function parameter named ``seed`` with a
+default must default to ``DEFAULT_SEED`` (by name, however imported)
+or to ``None`` (the "caller decides / settings supply it" sentinel).
+A literal default is exactly the drift the unification removed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.registry import rule
+
+_CANONICAL = "DEFAULT_SEED"
+
+
+@rule(
+    "REP005",
+    name="seed-plumbing",
+    summary=(
+        "seed= parameters must default to repro.seeding.DEFAULT_SEED "
+        "(or None), never a literal"
+    ),
+)
+def check_seed_plumbing(
+    module: ModuleInfo, project: Project
+) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for param, default in _defaulted_params(node.args):
+            if param.arg != "seed" or default is None:
+                continue
+            problem = _diagnose_default(default)
+            if problem is not None:
+                yield Finding(
+                    rule="REP005",
+                    path=module.display_path,
+                    line=default.lineno,
+                    col=default.col_offset,
+                    message=(
+                        f"{node.name}(seed={problem}) re-introduces a "
+                        f"private seed default; use "
+                        f"repro.seeding.DEFAULT_SEED (or None to make "
+                        f"the caller choose)"
+                    ),
+                )
+
+
+def _defaulted_params(
+    args: ast.arguments,
+) -> Iterator[tuple[ast.arg, Optional[ast.expr]]]:
+    positional = [*args.posonlyargs, *args.args]
+    defaults: list[Optional[ast.expr]] = [
+        None
+    ] * (len(positional) - len(args.defaults)) + list(args.defaults)
+    yield from zip(positional, defaults)
+    yield from zip(args.kwonlyargs, args.kw_defaults)
+
+
+def _diagnose_default(default: ast.expr) -> Optional[str]:
+    """A description of a bad default, or ``None`` when it is sanctioned."""
+    if isinstance(default, ast.Constant):
+        if default.value is None:
+            return None
+        return repr(default.value)
+    if isinstance(default, ast.Name):
+        return None if default.id == _CANONICAL else default.id
+    if isinstance(default, ast.Attribute):
+        return None if default.attr == _CANONICAL else default.attr
+    # Computed defaults (f(x), settings.seed, ...) are deliberate enough
+    # to leave alone; the rule targets the literal-constant drift.
+    return None

@@ -1,0 +1,95 @@
+"""Per-line finding suppressions: ``# repro: allow[RULE-ID, ...]``.
+
+A suppression comment on a line silences findings *on that same line*
+for the listed rule ids.  Every suppression must earn its keep: one
+that silences nothing is itself reported as an ``REP000`` finding
+(unused suppression), so stale allows cannot rot in the tree after the
+code they excused was fixed.  ``REP000`` findings are not suppressible.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+#: The rule id reserved for unused-suppression findings.
+UNUSED_SUPPRESSION_RULE = "REP000"
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+@dataclass
+class Suppression:
+    """One ``allow[...]`` entry: a rule id pinned to a source line."""
+
+    rule: str
+    line: int
+    col: int
+    used: bool = False
+
+
+@dataclass
+class SuppressionIndex:
+    """All suppressions of one file, with usage tracking."""
+
+    by_line: dict[tuple[int, str], Suppression] = field(default_factory=dict)
+
+    def matches(self, rule: str, line: int) -> bool:
+        """True (and marks the suppression used) when ``rule@line`` is allowed."""
+        entry = self.by_line.get((line, rule))
+        if entry is None:
+            return False
+        entry.used = True
+        return True
+
+    def unused(self, path: str) -> list[Finding]:
+        """A ``REP000`` finding for every suppression that silenced nothing."""
+        return [
+            Finding(
+                rule=UNUSED_SUPPRESSION_RULE,
+                path=path,
+                line=entry.line,
+                col=entry.col,
+                message=(
+                    f"unused suppression: no {entry.rule} finding on this "
+                    f"line; remove the '# repro: allow[{entry.rule}]' comment"
+                ),
+            )
+            for entry in sorted(
+                self.by_line.values(), key=lambda e: (e.line, e.col, e.rule)
+            )
+            if not entry.used
+        ]
+
+
+def scan_suppressions(source: str) -> SuppressionIndex:
+    """Collect every ``# repro: allow[...]`` comment in ``source``.
+
+    Comments are found with :mod:`tokenize` (never by substring search),
+    so an ``allow[...]`` inside a string literal is not a suppression.
+    """
+    index = SuppressionIndex()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(token.string)
+            if match is None:
+                continue
+            line, col = token.start
+            for rule in match.group(1).split(","):
+                rule = rule.strip()
+                if rule:
+                    index.by_line[(line, rule)] = Suppression(
+                        rule=rule, line=line, col=col
+                    )
+    except tokenize.TokenError:
+        # A tokenization failure will surface as a parse error upstream;
+        # suppressions just come back empty.
+        pass
+    return index

@@ -21,6 +21,8 @@ Subcommands
                     (``list`` / ``show`` / ``gc``, see ``repro.store``)
 ``scenarios``       run / list / diff the seeded scenario matrix and its
                     ``BENCH_scenarios.json`` snapshots (``repro.scenarios``)
+``lint``            run the invariant-enforcing static-analysis suite
+                    (``repro.analysis``); exit 1 on findings, 0 when clean
 ``privacy``         compute the privacy of a K-example / abstraction (Algorithm 1)
 ``attack``          list the CIM queries an adversary recovers
 ``evaluate``        run a query with provenance tracking
@@ -530,6 +532,32 @@ def cmd_scenarios_diff(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import all_rules, analyze_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name}: {rule.summary}")
+        return 0
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        # Default target: the installed repro package itself.
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+    report = analyze_paths(paths, rule_ids=rule_ids)
+    if args.format == "json":
+        print(dumps(report.to_dict()))
+    else:
+        for line in report.render_lines():
+            print(line)
+    return 0 if report.ok else 1
+
+
 def cmd_privacy(args) -> int:
     database = _load_database(args.database)
     tree = _load_tree(args.tree)
@@ -796,6 +824,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fail (exit 1) when any cell is slower than "
                               "this ratio; default: report only")
     p_sdiff.set_defaults(func=cmd_scenarios_diff)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the invariant-enforcing static-analysis suite "
+             "(repro.analysis); exit 1 on findings",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze "
+             "(default: the installed repro package)",
+    )
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    p_lint.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all); "
+             "unknown ids exit 2",
+    )
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_priv = sub.add_parser("privacy", help="privacy of a (possibly abstracted) K-example")
     _add_common(p_priv)

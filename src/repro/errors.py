@@ -49,3 +49,13 @@ class ServiceError(ReproError):
 
 class ScenarioError(ReproError):
     """A scenario matrix or benchmark snapshot is malformed."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis suite was misconfigured or could not run.
+
+    Raised for unknown rule ids, unreadable paths, and unparseable
+    sources — *not* for findings (findings are data, and ``repro lint``
+    reports them with exit code 1; this error maps to exit code 2 like
+    every other library failure).
+    """

@@ -16,8 +16,10 @@ Kept dependency-free so the lowest layers (``repro.abstraction``,
 
 from __future__ import annotations
 
+from typing import Final
+
 #: The default for every ``seed=`` parameter of the data/tree generators
 #: and for ``ExperimentSettings.seed``.  Value 1 preserves the historical
 #: experiment-harness contexts (and therefore every named-workload
 #: content hash computed under default settings).
-DEFAULT_SEED = 1
+DEFAULT_SEED: Final[int] = 1

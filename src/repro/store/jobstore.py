@@ -133,7 +133,9 @@ class JobStore:
                     job_id, seq, content_hash,
                     json.dumps(spec, sort_keys=True, separators=(",", ":")),
                     state,
-                    time.time() if submitted_at is None else submitted_at,
+                    # Operational submission timestamp — displayed and
+                    # gc-compared, never part of a content hash.
+                    time.time() if submitted_at is None else submitted_at,  # repro: allow[REP001]
                 ),
             )
             self._conn.commit()
@@ -207,7 +209,8 @@ class JobStore:
         second writer computed the same payload, so keeping the existing
         row preserves bit-identical reads.
         """
-        now = time.time()
+        # created_at/last_used_at are gc bookkeeping, not hash inputs.
+        now = time.time()  # repro: allow[REP001]
         with self._lock:
             cursor = self._conn.execute(
                 "INSERT OR IGNORE INTO results "
@@ -240,7 +243,8 @@ class JobStore:
             self._conn.execute(
                 "UPDATE results SET hits = hits + 1, last_used_at = ? "
                 "WHERE content_hash = ?",
-                (time.time(), content_hash),
+                # LRU clock for gc retention, never hashed.
+                (time.time(), content_hash),  # repro: allow[REP001]
             )
             self._conn.commit()
         return json.loads(row[0])
@@ -279,7 +283,8 @@ class JobStore:
         Queued/running records are never touched: they are the restart
         recovery set.
         """
-        now = time.time() if now is None else now
+        # Retention-window clock (injectable for tests), never hashed.
+        now = time.time() if now is None else now  # repro: allow[REP001]
         results_deleted = jobs_deleted = 0
         terminal = ("done", "failed", "cancelled")
         marks = ",".join("?" * len(terminal))

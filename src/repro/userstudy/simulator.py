@@ -36,6 +36,7 @@ from repro.db.tuples import Tuple
 from repro.provenance.kexample import AbstractedKExample, KExample
 from repro.query.ast import CQ
 from repro.query.containment import is_contained_in, is_equivalent
+from repro.seeding import DEFAULT_SEED
 
 
 @dataclass(frozen=True)
@@ -139,7 +140,7 @@ def generate_questions(
     example: KExample,
     database: KDatabase,
     n_questions: int = 10,
-    seed: int = 0,
+    seed: int = DEFAULT_SEED,
 ) -> list[HypotheticalQuestion]:
     """Deletion questions mixing hits and misses over the example's rows.
 
@@ -198,7 +199,7 @@ def run_user_study(
     group_size: int = 6,
     n_questions: int = 10,
     lapse_rate: float = 0.04,
-    seed: int = 0,
+    seed: int = DEFAULT_SEED,
     questions: Optional[Sequence[HypotheticalQuestion]] = None,
     database: Optional[KDatabase] = None,
 ) -> UserStudyResult:

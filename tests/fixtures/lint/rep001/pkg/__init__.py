@@ -1,0 +1,1 @@
+# Fixture package for REP001 reachability tests.

@@ -1,0 +1,7 @@
+"""Fixture module NOT imported by the hash root: wall-clock is fine here."""
+
+import time
+
+
+def measure():
+    return time.time()

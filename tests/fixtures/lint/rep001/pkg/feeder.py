@@ -1,0 +1,23 @@
+"""Fixture feeder module: every REP001 violation class, one per line."""
+
+import os
+import random
+import time
+from datetime import datetime
+
+
+def build_inputs(spec):
+    stamp = time.time()
+    today = datetime.now()
+    jitter = random.random()
+    rng = random.Random()
+    salt = os.urandom(8)
+    key = id(spec)
+    return (stamp, today, jitter, rng.random(), salt, key)
+
+
+def sanctioned(seed):
+    rng = random.Random(seed)  # seeded constructor: allowed
+    elapsed = time.perf_counter()  # duration clock: allowed
+    audited = time.time()  # repro: allow[REP001]
+    return rng.random() if elapsed or audited else None

@@ -1,0 +1,7 @@
+"""Fixture hash root: mirrors repro.store.hashing's lazy feeder import."""
+
+
+def content_hash(spec):
+    from pkg.feeder import build_inputs  # lazy, like the real tree
+
+    return hash(repr(build_inputs(spec)))

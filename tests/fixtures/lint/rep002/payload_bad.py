@@ -1,0 +1,36 @@
+"""Fixture: payload-parity violations (the historical cache_hit drift)."""
+
+
+class DriftingResult:
+    """to_payload writes own-state fields from_payload never reads."""
+
+    def __init__(self, job):
+        self.job = job
+        self.found = False
+        self.cache_hit = False
+        self.session_reused = False
+
+    def to_payload(self):
+        return {
+            "tag": self.job.tag,  # companion-object display field: exempt
+            "found": self.found,
+            "cache_hit": self.cache_hit,
+            "session_reused": self.session_reused,
+        }
+
+    @classmethod
+    def from_payload(cls, payload, job):
+        result = cls(job)
+        result.found = bool(payload.get("found", False))
+        # cache_hit and session_reused are silently dropped here.
+        return result
+
+
+class OneWayTicket:
+    """Defines to_payload with no from_payload at all."""
+
+    def __init__(self):
+        self.value = 1
+
+    def to_payload(self):
+        return {"value": self.value}

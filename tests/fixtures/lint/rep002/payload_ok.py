@@ -1,0 +1,37 @@
+"""Fixture: lossless payload round trips (no REP002 findings)."""
+
+import math
+
+
+class LosslessResult:
+    def __init__(self, job):
+        self.job = job
+        self.found = False
+        self.loi = math.inf
+        self.cache_hit = False
+
+    def to_payload(self):
+        payload = {
+            "query_name": self.job.query_name,  # from the companion job
+            "threshold": self.job.threshold,
+            "found": self.found,
+            "loi": self.loi if math.isfinite(self.loi) else None,
+        }
+        payload["cache_hit"] = self.cache_hit
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload, job):
+        result = cls(job)
+        result.found = bool(payload.get("found", False))
+        loi = payload.get("loi")
+        result.loi = math.inf if loi is None else loi
+        result.cache_hit = bool(payload["cache_hit"])
+        return result
+
+
+class NoPayloadAtAll:
+    """Classes without to_payload are out of scope."""
+
+    def to_dict(self):
+        return {"x": 1}

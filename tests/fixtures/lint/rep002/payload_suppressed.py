@@ -1,0 +1,16 @@
+"""Fixture: a deliberate one-way payload field, suppressed and justified."""
+
+
+class AuditedDrop:
+    def __init__(self):
+        self.debug_note = ""
+
+    def to_payload(self):
+        return {
+            # Emitted for human log readers only; never rebuilt.
+            "debug_note": self.debug_note,  # repro: allow[REP002]
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls()

@@ -1,0 +1,26 @@
+"""Fixture: the sanctioned shape — state under the lock, I/O outside."""
+
+import threading
+
+
+class DisciplinedService:
+    def __init__(self, store):
+        self._lock = threading.Lock()
+        self._store = store
+        self._records = {}
+
+    def submit(self, job_id, spec):
+        with self._lock:
+            self._records[job_id] = spec
+            state = dict(spec)
+
+            def flush():  # runs later, NOT under this lock
+                self._store.record_job(job_id, state)
+
+        self._store.record_job(job_id, state)
+        return flush
+
+    def stats(self):
+        count = self._store.result_count()  # before taking the lock
+        with self._lock:
+            return {"results": count, "records": len(self._records)}

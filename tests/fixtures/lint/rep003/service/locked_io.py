@@ -1,0 +1,29 @@
+"""Fixture: I/O performed while holding the service state lock."""
+
+import sqlite3
+import threading
+import time
+import urllib.request
+
+
+class LeakyService:
+    def __init__(self, store):
+        self._lock = threading.Lock()
+        self._store = store
+        self._records = {}
+
+    def submit(self, job_id, spec):
+        with self._lock:
+            self._records[job_id] = spec
+            self._store.record_job(job_id, spec)
+            conn = sqlite3.connect("jobs.db")
+            with open("audit.log", "a") as handle:
+                handle.write(job_id)
+            urllib.request.urlopen("http://127.0.0.1/notify")
+            time.sleep(0.1)
+        return conn
+
+    def cancel(self, job_id):
+        with self._lock:
+            # Sanctioned for this fixture: audited store read under lock.
+            return self._store.get_job(job_id)  # repro: allow[REP003]

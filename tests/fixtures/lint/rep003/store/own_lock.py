@@ -1,0 +1,24 @@
+"""Fixture: a store serializing its own connection — the sanctioned pattern."""
+
+import sqlite3
+import threading
+
+
+class MiniStore:
+    def __init__(self, path):
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path)  # outside any lock
+
+    def save(self, key, value):
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO kv VALUES (?, ?)", (key, value)
+            )
+            self._conn.commit()
+
+    def load(self, key):
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM kv WHERE key = ?", (key,)
+            ).fetchone()
+        return row[0] if row else None

@@ -1,0 +1,37 @@
+"""Fixture: exception-hygiene violations (REP004)."""
+
+
+class ReproError(Exception):
+    pass
+
+
+class ServiceError(ReproError):
+    pass
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # noqa: E722 — the whole point of this fixture
+        pass
+
+
+def swallow_repro_error(fn):
+    try:
+        return fn()
+    except ReproError:
+        pass
+
+
+def swallow_tuple(fn):
+    try:
+        return fn()
+    except (ValueError, ServiceError):
+        pass
+
+
+def swallow_broad(fn):
+    try:
+        return fn()
+    except Exception:
+        "nothing to see here"

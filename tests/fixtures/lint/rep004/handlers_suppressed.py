@@ -1,0 +1,12 @@
+"""Fixture: a justified best-effort swallow, suppressed."""
+
+
+class ReproError(Exception):
+    pass
+
+
+def best_effort_cleanup(fn):
+    try:
+        fn()
+    except ReproError:  # repro: allow[REP004]
+        pass

@@ -1,0 +1,19 @@
+"""Fixture: seed parameters defaulting to ad-hoc literals (REP005)."""
+
+MY_SEED = 7
+
+
+def sample_rows(database, n, seed=0):
+    return (database, n, seed)
+
+
+def shuffle_questions(questions, *, seed=42):
+    return (questions, seed)
+
+
+class Harness:
+    def __init__(self, seed=1):
+        self.seed = seed
+
+    def run(self, spec, seed=MY_SEED):
+        return (spec, seed)

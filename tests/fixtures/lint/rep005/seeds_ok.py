@@ -1,0 +1,23 @@
+"""Fixture: sanctioned seed defaults (no REP005 findings)."""
+
+DEFAULT_SEED = 1
+
+
+def sample_rows(database, n, seed=DEFAULT_SEED):
+    return (database, n, seed)
+
+
+def shuffle_questions(questions, *, seed=None):
+    return (questions, seed)
+
+
+def explicit_only(spec, seed):
+    return (spec, seed)
+
+
+def derived(spec, seed=DEFAULT_SEED + 0):
+    return (spec, seed)
+
+
+def unrelated(spec, seed_count=3):
+    return (spec, seed_count)

@@ -1,0 +1,6 @@
+"""Fixture: a paper-mandated literal seed, suppressed with a reason."""
+
+
+def replicate_figure_6(database, seed=1234):  # repro: allow[REP005]
+    # The paper's published runs used seed 1234 for this figure.
+    return (database, seed)

@@ -1,0 +1,5 @@
+"""Fixture: a suppression comment on a line with nothing to suppress."""
+
+
+def add(a, b):
+    return a + b  # repro: allow[REP001]

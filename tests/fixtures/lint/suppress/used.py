@@ -1,0 +1,5 @@
+"""Fixture: a suppression that matches a real finding — fully clean."""
+
+
+def noisy(seed=99):  # repro: allow[REP005]
+    return seed

@@ -1,0 +1,127 @@
+"""Exit-code and output-format tests for `repro lint`."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import REPORT_SCHEMA
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+class TestExitCodes:
+    def test_clean_input_exits_zero(self, capsys):
+        code = main(["lint", str(FIXTURES / "rep004" / "handlers_ok.py")])
+        assert code == 0
+        assert "clean: 1 files, 5 rules, 0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        code = main(["lint", str(FIXTURES / "rep005" / "seeds_bad.py")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert out.count("REP005") >= 4
+        assert "4 findings in 1 files (REP005 x4)" in out
+
+    def test_unknown_rule_id_exits_two(self, capsys):
+        code = main([
+            "lint", "--rules", "REP999",
+            str(FIXTURES / "rep004" / "handlers_ok.py"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown rule id" in err
+        assert "REP999" in err
+
+    def test_missing_path_exits_two(self, capsys):
+        code = main(["lint", str(FIXTURES / "does_not_exist.py")])
+        assert code == 2
+        assert "no such file or directory" in capsys.readouterr().err
+
+    def test_unused_suppression_fails_the_run(self, capsys):
+        code = main(["lint", str(FIXTURES / "suppress" / "unused.py")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REP000" in out
+        assert "unused suppression" in out
+
+    def test_used_suppression_passes(self, capsys):
+        code = main(["lint", str(FIXTURES / "suppress" / "used.py")])
+        assert code == 0
+
+
+class TestJsonFormat:
+    def test_document_schema(self, capsys):
+        code = main([
+            "lint", "--format", "json",
+            str(FIXTURES / "rep005" / "seeds_bad.py"),
+        ])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert set(document) == {
+            "schema", "files_checked", "rules_run", "findings", "counts", "ok",
+        }
+        assert document["schema"] == REPORT_SCHEMA
+        assert document["files_checked"] == 1
+        assert document["rules_run"] == [
+            "REP001", "REP002", "REP003", "REP004", "REP005",
+        ]
+        assert document["counts"] == {"REP005": 4}
+        assert document["ok"] is False
+
+    def test_finding_item_schema_and_ordering(self, capsys):
+        main([
+            "lint", "--format", "json",
+            str(FIXTURES / "rep005" / "seeds_bad.py"),
+        ])
+        findings = json.loads(capsys.readouterr().out)["findings"]
+        assert len(findings) == 4
+        for item in findings:
+            assert set(item) == {"rule", "path", "line", "col", "message"}
+            assert item["rule"] == "REP005"
+            assert item["path"].endswith("seeds_bad.py")
+        assert [f["line"] for f in findings] == sorted(
+            f["line"] for f in findings
+        )
+
+    def test_clean_document(self, capsys):
+        code = main([
+            "lint", "--format", "json",
+            str(FIXTURES / "rep004" / "handlers_ok.py"),
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        assert document["findings"] == []
+        assert document["counts"] == {}
+
+
+class TestRuleSelection:
+    def test_rules_filter_restricts_the_run(self, capsys):
+        code = main([
+            "lint", "--rules", "REP004",
+            str(FIXTURES / "rep004" / "handlers_bad.py"),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert out.count("REP004") >= 4
+
+    def test_other_rules_do_not_run_under_a_filter(self, capsys):
+        # seeds_bad.py only violates REP005; restricted to REP004 the
+        # run is clean.
+        code = main([
+            "lint", "--rules", "REP004",
+            str(FIXTURES / "rep005" / "seeds_bad.py"),
+        ])
+        assert code == 0
+
+    def test_list_rules_prints_the_catalog(self, capsys):
+        code = main(["lint", "--list-rules"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert rule_id in out
+        assert "determinism" in out
+        assert "payload-parity" in out
+        assert "lock-discipline" in out
+        assert "exception-hygiene" in out
+        assert "seed-plumbing" in out

@@ -1,0 +1,214 @@
+"""Per-rule analyzer tests over the fixture tree in tests/fixtures/lint/.
+
+Each rule gets a positive fixture (the rule fires, at known locations),
+a negative fixture (the sanctioned shapes stay clean), and a suppressed
+fixture (an `# repro: allow[...]` comment silences the finding without
+tripping the unused-suppression check).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.suppress import UNUSED_SUPPRESSION_RULE
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def findings_in(report, filename):
+    return [f for f in report.findings if f.path.endswith(filename)]
+
+
+class TestDeterminismRule:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # The fixture package has its own hash root; without the
+        # override the engine would look for the repro.* roots, find
+        # none, and conservatively treat every module as hash-feeding.
+        return analyze_paths(
+            [FIXTURES / "rep001"], hash_roots=("pkg.hashing",)
+        )
+
+    def test_every_banned_call_in_the_feeder_fires(self, report):
+        feeder = findings_in(report, "feeder.py")
+        assert [f.rule for f in feeder] == ["REP001"] * 6
+        assert sorted(f.line for f in feeder) == [10, 11, 12, 13, 14, 15]
+
+    def test_messages_name_the_resolved_call(self, report):
+        messages = " | ".join(f.message for f in findings_in(report, "feeder.py"))
+        assert "time.time()" in messages
+        assert "datetime.datetime.now()" in messages
+        assert "random.random()" in messages
+        assert "random.Random() without a seed" in messages
+        assert "os.urandom()" in messages
+        assert "id() leaks a CPython object address" in messages
+
+    def test_module_outside_the_import_closure_is_exempt(self, report):
+        assert findings_in(report, "bystander.py") == []
+
+    def test_sanctioned_patterns_and_suppression_stay_clean(self, report):
+        # random.Random(seed) and time.perf_counter() in sanctioned()
+        # are allowed; the allow[REP001] on line 22 is used, so no
+        # REP000 appears either.
+        assert not any(f.line >= 19 for f in findings_in(report, "feeder.py"))
+        assert not any(
+            f.rule == UNUSED_SUPPRESSION_RULE for f in report.findings
+        )
+
+    def test_missing_roots_fall_back_to_checking_everything(self):
+        # Analyzed alone, the bystander is not reachable from any
+        # configured root — the conservative mode flags it anyway.
+        report = analyze_paths([FIXTURES / "rep001" / "pkg" / "bystander.py"])
+        assert [f.rule for f in report.findings] == ["REP001"]
+        assert report.findings[0].line == 7
+
+
+class TestPayloadParityRule:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_paths([FIXTURES / "rep002"])
+
+    def test_dropped_fields_fire_at_their_key_lines(self, report):
+        drift = [
+            f for f in findings_in(report, "payload_bad.py")
+            if "DriftingResult" in f.message
+        ]
+        assert {f.line for f in drift} == {17, 18}
+        assert any("'cache_hit'" in f.message for f in drift)
+        assert any("'session_reused'" in f.message for f in drift)
+        assert all("silently dropped" in f.message for f in drift)
+
+    def test_companion_object_fields_are_exempt(self, report):
+        # "tag" is valued from self.job.tag — spec-side data the
+        # receiver reconstructs, not payload state.
+        assert not any("'tag'" in f.message for f in report.findings)
+
+    def test_missing_from_payload_fires_once(self, report):
+        one_way = [
+            f for f in findings_in(report, "payload_bad.py")
+            if "OneWayTicket" in f.message
+        ]
+        assert len(one_way) == 1
+        assert "no from_payload" in one_way[0].message
+
+    def test_lossless_class_and_suppressed_drop_stay_clean(self, report):
+        assert findings_in(report, "payload_ok.py") == []
+        assert findings_in(report, "payload_suppressed.py") == []
+        assert all(f.rule == "REP002" for f in report.findings)
+
+
+class TestLockDisciplineRule:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_paths([FIXTURES / "rep003"])
+
+    def test_every_io_shape_under_the_lock_fires(self, report):
+        leaky = findings_in(report, "locked_io.py")
+        assert [f.rule for f in leaky] == ["REP003"] * 5
+        assert sorted(f.line for f in leaky) == [18, 19, 20, 22, 23]
+        messages = " | ".join(f.message for f in leaky)
+        assert "calls into the store/cache layer" in messages
+        assert "sqlite3.connect()" in messages
+        assert "open() performs file I/O" in messages
+        assert "urllib.request.urlopen() performs network I/O" in messages
+        assert "time.sleep()" in messages
+
+    def test_findings_point_back_at_the_lock_line(self, report):
+        assert all(
+            "(line 16)" in f.message
+            for f in findings_in(report, "locked_io.py")
+        )
+
+    def test_io_outside_the_lock_and_nested_defs_are_clean(self, report):
+        assert findings_in(report, "clean.py") == []
+
+    def test_stores_own_connection_lock_is_sanctioned(self, report):
+        assert findings_in(report, "own_lock.py") == []
+
+    def test_suppressed_store_read_is_silenced_without_rep000(self, report):
+        assert not any(f.line == 29 for f in findings_in(report, "locked_io.py"))
+        assert not any(
+            f.rule == UNUSED_SUPPRESSION_RULE for f in report.findings
+        )
+
+
+class TestExceptionHygieneRule:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_paths([FIXTURES / "rep004"])
+
+    def test_bad_handlers_fire(self, report):
+        bad = findings_in(report, "handlers_bad.py")
+        assert [f.rule for f in bad] == ["REP004"] * 4
+        assert sorted(f.line for f in bad) == [15, 22, 29, 36]
+
+    def test_bare_except_and_swallows_are_distinguished(self, report):
+        bad = {f.line: f.message for f in findings_in(report, "handlers_bad.py")}
+        assert "bare `except:`" in bad[15]
+        assert "except ReproError" in bad[22]
+        assert "ServiceError" in bad[29]  # guarded member of the tuple
+        assert "except Exception" in bad[36]
+
+    def test_real_handling_is_not_flagged(self, report):
+        # Conversion with `raise ... from`, counting + re-raise, logging
+        # with a fallback return, and narrow third-party tolerance are
+        # all legitimate handler bodies.
+        assert findings_in(report, "handlers_ok.py") == []
+
+    def test_suppressed_best_effort_swallow_is_silenced(self, report):
+        assert findings_in(report, "handlers_suppressed.py") == []
+        assert not any(
+            f.rule == UNUSED_SUPPRESSION_RULE for f in report.findings
+        )
+
+
+class TestSeedPlumbingRule:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_paths([FIXTURES / "rep005"])
+
+    def test_literal_and_private_name_defaults_fire(self, report):
+        bad = findings_in(report, "seeds_bad.py")
+        assert [f.rule for f in bad] == ["REP005"] * 4
+        assert sorted(f.line for f in bad) == [6, 10, 15, 18]
+        messages = " | ".join(f.message for f in bad)
+        assert "sample_rows(seed=0)" in messages
+        assert "shuffle_questions(seed=42)" in messages
+        assert "__init__(seed=1)" in messages
+        assert "run(seed=MY_SEED)" in messages
+
+    def test_sanctioned_defaults_are_clean(self, report):
+        # DEFAULT_SEED by name, None, no default, a computed default,
+        # and parameters merely *containing* "seed" are all fine.
+        assert findings_in(report, "seeds_ok.py") == []
+
+    def test_suppressed_paper_seed_is_silenced(self, report):
+        assert findings_in(report, "seeds_suppressed.py") == []
+        assert not any(
+            f.rule == UNUSED_SUPPRESSION_RULE for f in report.findings
+        )
+
+
+class TestUnusedSuppressions:
+    def test_unused_allow_is_reported_and_used_allow_is_not(self):
+        report = analyze_paths([FIXTURES / "suppress"])
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.rule == UNUSED_SUPPRESSION_RULE
+        assert finding.path.endswith("unused.py")
+        assert finding.line == 5
+        assert "unused suppression" in finding.message
+        assert "REP001" in finding.message
+
+    def test_rep000_itself_cannot_be_suppressed(self, tmp_path):
+        target = tmp_path / "meta.py"
+        target.write_text(
+            "def f(x):\n"
+            "    return x  # repro: allow[REP001, REP000]\n"
+        )
+        report = analyze_paths([target])
+        assert report.findings  # the allow[REP000] does not silence REP000
+        assert all(
+            f.rule == UNUSED_SUPPRESSION_RULE for f in report.findings
+        )

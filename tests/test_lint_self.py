@@ -1,0 +1,43 @@
+"""The analyzer's own acceptance gate: src/repro must lint clean.
+
+This runs the full rule suite over the installed package in-process —
+the same check CI's static-analysis job runs via `repro lint` — so a
+determinism leak, payload drift, lock violation, swallowed error, or
+seed-default regression fails tier-1 immediately, with the findings in
+the assertion message.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import analyze_paths
+from repro.analysis.suppress import scan_suppressions
+
+PACKAGE = Path(repro.__file__).parent
+
+
+def test_package_lints_clean():
+    report = analyze_paths([PACKAGE])
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.ok, f"repro lint found violations in src/repro:\n{rendered}"
+
+
+def test_self_lint_covers_the_whole_package():
+    report = analyze_paths([PACKAGE])
+    assert report.files_checked >= 80
+    assert report.rules_run == [
+        "REP001", "REP002", "REP003", "REP004", "REP005",
+    ]
+
+
+def test_no_payload_or_lock_suppressions_in_the_tree():
+    # REP001 allows exist (the job store's operational timestamps are
+    # documented exceptions), but payload parity and lock discipline
+    # must hold without escape hatches anywhere in the package.
+    offenders = []
+    for path in sorted(PACKAGE.rglob("*.py")):
+        index = scan_suppressions(path.read_text())
+        for (line, rule) in index.by_line:
+            if rule in ("REP002", "REP003"):
+                offenders.append(f"{path}:{line}: allow[{rule}]")
+    assert not offenders, "\n".join(offenders)

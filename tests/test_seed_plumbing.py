@@ -31,10 +31,37 @@ class TestOneDefaultSeed:
         assert DEFAULT_SETTINGS.seed == DEFAULT_SEED
 
     def test_every_seeded_signature_defaults_to_it(self):
+        from repro.userstudy.simulator import (
+            generate_questions,
+            run_user_study,
+        )
+
+        # run_user_study/generate_questions joined the unification in
+        # the repro-lint PR (REP005 flagged their literal seed=0).
         for fn in (generate_tpch, generate_imdb, balanced_tree,
-                   tree_over_annotations, tpch_lineitem_tree):
+                   tree_over_annotations, tpch_lineitem_tree,
+                   generate_questions, run_user_study):
             default = inspect.signature(fn).parameters["seed"].default
             assert default == DEFAULT_SEED, fn.__name__
+
+    def test_userstudy_default_equals_explicit_default_seed(self):
+        # A bare generate_questions() must equal the explicit
+        # DEFAULT_SEED call (the historical 0-vs-1 trap, userstudy
+        # edition).  Question text is deterministic per seed.
+        from repro.examples_data import Q_REAL, running_example_db
+        from repro.provenance.builder import build_kexample
+        from repro.userstudy.simulator import generate_questions
+
+        database = running_example_db()
+        example = build_kexample(Q_REAL, database, n_rows=2)
+        bare = generate_questions(example, database, n_questions=6)
+        pinned = generate_questions(
+            example, database, n_questions=6, seed=DEFAULT_SEED
+        )
+        assert [q.description for q in bare] == [
+            q.description for q in pinned
+        ]
+        assert [q.row_index for q in bare] == [q.row_index for q in pinned]
 
     def test_bare_generators_match_the_experiment_harness(self):
         from repro.experiments.runner import database_for
