@@ -11,14 +11,20 @@ Replays the committed 12-cell smoke matrix (seed 7) through the
 * **no drift vs the committed baseline** — the fresh thread snapshot
   diffs clean against ``benchmarks/BENCH_scenarios.json`` (a result
   hash that moves on identical inputs fails the build),
+* **cross-engine identity** — the SQLite evaluation engine, against
+  its own fresh store, produces the same per-cell content and result
+  hashes as the naive engine and the committed baseline,
 * **cache dedup** — re-running the matrix against the thread tier's
   now-warm store answers >= 90% of cells from the persistent result
   cache, and the warm snapshot is bit-identical to the cold one once
-  the volatile trajectory fields are stripped.
+  the volatile trajectory fields are stripped; the same holds when the
+  warm re-run happens on a *different engine* (the engine is stripped
+  from the content hash, so engines share the cache).
 
 The fresh snapshots are left in the working directory
-(``BENCH_scenarios.thread.json`` / ``.process.json`` / ``.warm.json``)
-for CI to upload as the build's perf-trajectory artifact.
+(``BENCH_scenarios.thread.json`` / ``.process.json`` / ``.sqlite.json``
+/ ``.warm.json``) for CI to upload as the build's perf-trajectory
+artifact.
 
 Run from the repo root: ``python scripts/scenario_smoke.py``.
 """
@@ -57,9 +63,10 @@ def main() -> int:
     with tempfile.TemporaryDirectory(prefix="scenario-smoke-") as tmp:
         thread_store = os.path.join(tmp, "thread.sqlite")
         process_store = os.path.join(tmp, "process.sqlite")
+        engine_store = os.path.join(tmp, "engine.sqlite")
         snaps = {
             name: os.path.join(REPO_ROOT, f"BENCH_scenarios.{name}.json")
-            for name in ("thread", "process", "warm")
+            for name in ("thread", "process", "sqlite", "warm")
         }
 
         check(run_cli(
@@ -74,11 +81,23 @@ def main() -> int:
         ) == 0, "cold run on the process tier")
 
         check(run_cli(
+            "scenarios", "run", "--preset", "smoke", "--seed", SEED,
+            "--executor", "thread", "--workers", "2", "--engine", "sqlite",
+            "--store", engine_store, "--output", snaps["sqlite"],
+        ) == 0, "cold run on the sqlite evaluation engine")
+
+        check(run_cli(
             "scenarios", "diff", snaps["thread"], snaps["process"],
         ) == 0, "thread and process tiers agree cell for cell")
         check(run_cli(
+            "scenarios", "diff", snaps["thread"], snaps["sqlite"],
+        ) == 0, "naive and sqlite engines agree cell for cell")
+        check(run_cli(
             "scenarios", "diff", BASELINE, snaps["thread"],
         ) == 0, "no result-hash drift vs the committed baseline")
+        check(run_cli(
+            "scenarios", "diff", BASELINE, snaps["sqlite"],
+        ) == 0, "no sqlite-engine drift vs the committed baseline")
 
         check(run_cli(
             "scenarios", "run", "--preset", "smoke", "--seed", SEED,
@@ -96,6 +115,22 @@ def main() -> int:
               f"warm run served from the result cache ({hits}/{cells})")
         check(normalize(cold) == normalize(warm),
               "warm snapshot identical modulo volatile fields")
+
+        # Cross-engine cache reuse: the engine is stripped from the
+        # content hash, so a sqlite-engine run against the naive-engine
+        # store must be served from its cache.
+        cross = os.path.join(tmp, "cross.json")
+        check(run_cli(
+            "scenarios", "run", "--preset", "smoke", "--seed", SEED,
+            "--executor", "thread", "--workers", "2", "--engine", "sqlite",
+            "--store", thread_store, "--output", cross,
+        ) == 0, "sqlite-engine re-run against the naive-engine store")
+        with open(cross) as handle:
+            crossed = json.load(handle)
+        cross_hits = crossed["summary"]["cache_hits"]
+        check(cross_hits >= 0.9 * cells,
+              f"cross-engine run served from the shared cache "
+              f"({cross_hits}/{cells})")
     print("[scenario-smoke] all checks passed")
     return 0
 

@@ -155,11 +155,11 @@ def tree_by_attributes(
         positions = [relation_schema.position(a) for a in attrs]
         if not positions:
             categories[f"rel:{name}"] = [
-                t.annotation for t in database.relation(name)
+                t.annotation for t in database.scan(name)
             ]
             continue
         nested: dict = {}
-        for tup in database.relation(name):
+        for tup in database.scan(name):
             node = nested
             path = f"rel:{name}"
             for attr, pos in zip(attrs[:-1], positions[:-1]):

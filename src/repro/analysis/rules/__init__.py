@@ -9,11 +9,13 @@ REP002    payload-parity      ``to_payload``/``from_payload`` round trips
 REP003    lock-discipline     no I/O while holding service/store locks
 REP004    exception-hygiene   no bare/silent ``except``
 REP005    seed-plumbing       ``seed=`` defaults to ``DEFAULT_SEED``
+REP006    engine-discipline   relation reads go through ``KDatabase.scan``
 ========  ==================  ===========================================
 """
 
 from repro.analysis.rules import (  # noqa: F401  (import-for-effect)
     determinism,
+    engine_discipline,
     exception_hygiene,
     lock_discipline,
     payload_parity,

@@ -1,0 +1,142 @@
+"""REP006 — relation reads outside the engine layer go through ``scan``.
+
+PR 8 made query evaluation pluggable (:mod:`repro.engine`): the naive
+interpreter and the SQL engines are interchangeable *because* every read
+of relation contents funnels through a small, audited surface.  Code
+that reaches around it — calling :meth:`KRelation.matching` directly or
+looping over ``database.relation(...)`` — silently re-implements a scan
+with whatever iteration order it gets, which is exactly how engine-
+dependent (hash-breaking) behavior sneaks in.
+
+Flagged in any module outside a ``engine`` or ``db`` package:
+
+* ``<anything>.matching(...)`` — the index-backed point lookup is the
+  engines' private primitive;
+* consuming ``<anything>.relation(...)`` as an iterable: a ``for`` loop
+  target, a comprehension source, or an argument to an iterating
+  builtin (``list``, ``sorted``, ``sum``, ...).
+
+Not flagged: ``len(db.relation(name))`` and other non-iterating uses
+(cardinality is metadata, not a scan), and ``schema.relation(...)``
+(that returns a :class:`RelationSchema`, not tuples).  The sanctioned
+replacement is :meth:`repro.db.database.KDatabase.scan`, which performs
+the identical insertion-order read in one place.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.registry import rule
+
+#: Packages whose modules own the raw relation surface (any path segment).
+_EXEMPT_PACKAGES = ("engine", "db")
+
+#: Builtins that consume their argument as an iterable.
+_ITERATING_BUILTINS = frozenset({
+    "list", "tuple", "set", "frozenset", "iter", "sorted", "enumerate",
+    "sum", "max", "min", "any", "all", "map", "filter", "zip",
+})
+
+
+@rule(
+    "REP006",
+    name="engine-discipline",
+    summary=(
+        "relation contents outside engine/ and db/ modules are read via "
+        "KDatabase.scan(), never .matching() or relation iteration"
+    ),
+)
+def check_engine_discipline(
+    module: ModuleInfo, project: Project
+) -> Iterator[Finding]:
+    parts = {p.lower() for p in module.path.parts} | set(
+        module.name.split(".")
+    )
+    if parts.intersection(_EXEMPT_PACKAGES):
+        return
+    for node in ast.walk(module.tree):
+        finding = _diagnose(module, node)
+        if finding is not None:
+            yield finding
+
+
+def _diagnose(module: ModuleInfo, node: ast.AST) -> Optional[Finding]:
+    if isinstance(node, ast.Call):
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "matching"
+        ):
+            return _finding(
+                module, node,
+                ".matching() is the engines' private lookup primitive; "
+                "use KDatabase.scan(relation, bindings)",
+            )
+        consumed = _consumed_relation_call(node)
+        if consumed is not None:
+            return _finding(
+                module, consumed,
+                "iterating .relation(...) bypasses the engine layer; "
+                "use KDatabase.scan(relation)",
+            )
+        return None
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        if _is_relation_call(node.iter):
+            return _finding(
+                module, node.iter,
+                "iterating .relation(...) bypasses the engine layer; "
+                "use KDatabase.scan(relation)",
+            )
+        return None
+    if isinstance(
+        node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+    ):
+        for generator in node.generators:
+            if _is_relation_call(generator.iter):
+                return _finding(
+                    module, generator.iter,
+                    "iterating .relation(...) bypasses the engine layer; "
+                    "use KDatabase.scan(relation)",
+                )
+    return None
+
+
+def _consumed_relation_call(call: ast.Call) -> Optional[ast.Call]:
+    """The ``.relation(...)`` argument of an iterating builtin, if any."""
+    if not isinstance(call.func, ast.Name):
+        return None
+    if call.func.id not in _ITERATING_BUILTINS:
+        return None
+    for arg in call.args:
+        if _is_relation_call(arg):
+            return arg
+    return None
+
+
+def _is_relation_call(expr: ast.expr) -> bool:
+    """``<receiver>.relation(...)`` where the receiver is not a schema."""
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    if not isinstance(func, ast.Attribute) or func.attr != "relation":
+        return False
+    # schema.relation(name) returns arity metadata, not tuples.
+    receiver = func.value
+    if isinstance(receiver, ast.Attribute) and "schema" in receiver.attr:
+        return False
+    if isinstance(receiver, ast.Name) and "schema" in receiver.id:
+        return False
+    return True
+
+
+def _finding(module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        rule="REP006",
+        path=module.display_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )

@@ -91,10 +91,14 @@ class InlineContext:
     query: Optional[str] = None
     kexample_json: Optional[str] = None
     n_rows: int = 2
+    # The evaluation engine :meth:`build` uses when it must construct the
+    # K-example from ``query``.  Execution detail: not part of
+    # :meth:`content_hash` (every engine builds a bit-identical example).
+    engine: str = "naive"
 
     @classmethod
     def from_objects(cls, database, tree, query=None, kexample=None,
-                     n_rows: int = 2) -> "InlineContext":
+                     n_rows: int = 2, engine: str = "naive") -> "InlineContext":
         """Serialize live objects into a spec (inverse of :meth:`build`)."""
         from repro.io.json_io import (
             database_to_json, kexample_to_json, tree_to_json,
@@ -109,6 +113,7 @@ class InlineContext:
                 if kexample is not None else None
             ),
             n_rows=n_rows,
+            engine=engine,
         )
 
     def content_hash(self) -> str:
@@ -129,8 +134,13 @@ class InlineContext:
             object.__setattr__(self, "_content_hash", digest)
         return digest
 
-    def build(self, settings):
-        """Rebuild the live context exactly as ``repro optimize`` does."""
+    def build(self, settings, engine: Optional[str] = None):
+        """Rebuild the live context exactly as ``repro optimize`` does.
+
+        ``engine`` overrides the spec's engine for this build (the job
+        runner passes the effective config's engine through); either way
+        the resulting context is bit-identical.
+        """
         from repro.experiments.runner import ExperimentContext
         from repro.io.json_io import (
             database_from_json, kexample_from_json, tree_from_json,
@@ -144,7 +154,10 @@ class InlineContext:
         if self.kexample_json is not None:
             example = kexample_from_json(json.loads(self.kexample_json), database)
         else:
-            example = build_kexample(query, database, n_rows=self.n_rows)
+            example = build_kexample(
+                query, database, n_rows=self.n_rows,
+                engine=engine if engine is not None else self.engine,
+            )
         return ExperimentContext(
             query_name=f"inline:{self.content_hash()[:12]}",
             query=query,

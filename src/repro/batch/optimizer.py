@@ -132,27 +132,35 @@ def _register_inline(context: InlineContext) -> None:
 
 
 @lru_cache(maxsize=32)
-def _cached_context(context_key: tuple, settings: ExperimentSettings):
+def _cached_context(
+    context_key: tuple, settings: ExperimentSettings, engine: str = "naive"
+):
     """Process-local (db, example, tree) cache shared across a worker's jobs.
 
     Keyed by :meth:`BatchJob.context_key` so the job spec stays the single
     definition of what identifies a context.  Inline jobs key by content
-    hash; their payload is resolved through the registry above.
+    hash; their payload is resolved through the registry above.  The
+    engine joins the key for simplicity — per-engine contexts are
+    bit-identical by contract, the cache entries are merely separate.
     """
     if context_key[0] == INLINE_CONTEXT_TAG:
-        return _inline_contexts[context_key[1]].build(settings)
+        return _inline_contexts[context_key[1]].build(settings, engine=engine)
 
     from repro.experiments.runner import prepare_context
 
     query_name, n_rows, n_leaves, height = context_key
     return prepare_context(
-        query_name, settings, n_rows=n_rows, n_leaves=n_leaves, height=height
+        query_name, settings, n_rows=n_rows, n_leaves=n_leaves, height=height,
+        engine=engine,
     )
 
 
 @lru_cache(maxsize=32)
 def _cached_session(
-    context_key: tuple, privacy: PrivacyConfig, settings: ExperimentSettings
+    context_key: tuple,
+    privacy: PrivacyConfig,
+    settings: ExperimentSettings,
+    engine: str = "naive",
 ) -> PrivacySession:
     """Process-local privacy-session cache stacked on ``_cached_context``.
 
@@ -161,17 +169,20 @@ def _cached_session(
     reuse.  The privacy config is canonicalized by the caller so jobs
     differing only in cache-*consultation* switches still share.
     """
-    context = _cached_context(context_key, settings)
+    context = _cached_context(context_key, settings, engine)
     return PrivacySession(context.tree, context.example.registry, privacy)
 
 
 def _session_for(
-    context_key: tuple, privacy: PrivacyConfig, settings: ExperimentSettings
+    context_key: tuple,
+    privacy: PrivacyConfig,
+    settings: ExperimentSettings,
+    engine: str = "naive",
 ) -> PrivacySession:
     # Only the session_key() fields affect cache contents; pin the rest so
     # jobs differing in row_by_row / cache_queries land on one session.
     canonical = dataclasses.replace(privacy, row_by_row=True, cache_queries=True)
-    return _cached_session(context_key, canonical, settings)
+    return _cached_session(context_key, canonical, settings, engine)
 
 
 def clear_worker_caches() -> None:
@@ -243,8 +254,12 @@ def run_job(
             inline = getattr(job, "context", None)
             if inline is not None:
                 _register_inline(inline)
-            context = _cached_context(job.context_key(), settings)
-            session = _session_for(job.context_key(), config.privacy, settings)
+            context = _cached_context(
+                job.context_key(), settings, config.engine
+            )
+            session = _session_for(
+                job.context_key(), config.privacy, settings, config.engine
+            )
             session_reused = session.computers_attached > 0
         start = time.perf_counter()
         result = find_optimal_abstraction(

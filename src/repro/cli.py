@@ -23,6 +23,8 @@ Subcommands
                     ``BENCH_scenarios.json`` snapshots (``repro.scenarios``)
 ``lint``            run the invariant-enforcing static-analysis suite
                     (``repro.analysis``); exit 1 on findings, 0 when clean
+``engines``         list the relational evaluation engines (``repro.engine``)
+                    with availability markers
 ``privacy``         compute the privacy of a K-example / abstraction (Algorithm 1)
 ``attack``          list the CIM queries an adversary recovers
 ``evaluate``        run a query with provenance tracking
@@ -45,6 +47,7 @@ from repro.abstraction.function import AbstractionFunction
 from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
 from repro.core.privacy import PrivacyComputer
 from repro.db.database import KDatabase
+from repro.engine import DEFAULT_ENGINE, ENGINE_NAMES, available_engines, get_engine
 from repro.errors import AbstractionError, JobSpecError, ReproError, SchemaError
 from repro.io.csv_io import database_from_csv_dir
 from repro.io.json_io import (
@@ -58,7 +61,6 @@ from repro.io.json_io import (
     tree_to_json,
 )
 from repro.provenance.builder import build_kexample
-from repro.query.evaluator import evaluate
 from repro.query.parser import parse_cq
 from repro.render import render_kexample, render_query, render_result, render_tree
 
@@ -100,7 +102,10 @@ def _build_example(args, database: KDatabase):
             _read_json_file(args.kexample, "K-example"), database
         )
     query = parse_cq(args.query)
-    return build_kexample(query, database, n_rows=args.rows)
+    return build_kexample(
+        query, database, n_rows=args.rows,
+        engine=getattr(args, "engine", None),
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser, with_tree: bool = True) -> None:
@@ -113,6 +118,16 @@ def _add_common(parser: argparse.ArgumentParser, with_tree: bool = True) -> None
     group.add_argument("--kexample", help="K-example JSON file")
     parser.add_argument("--rows", type=int, default=2,
                         help="K-example rows when building from a query")
+    _add_engine_flag(parser)
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=ENGINE_NAMES, default=DEFAULT_ENGINE,
+        help="relational evaluation backend (execution detail: every "
+             "engine produces bit-identical results and hashes; "
+             "see 'repro engines')",
+    )
 
 
 def cmd_optimize(args) -> int:
@@ -120,7 +135,8 @@ def cmd_optimize(args) -> int:
     tree = _load_tree(args.tree)
     example = _build_example(args, database)
     config = OptimizerConfig(
-        max_candidates=args.max_candidates, max_seconds=args.max_seconds
+        max_candidates=args.max_candidates, max_seconds=args.max_seconds,
+        engine=args.engine,
     )
     result = find_optimal_abstraction(example, tree, args.threshold, config=config)
     print(render_result(result))
@@ -210,11 +226,14 @@ def cmd_batch_optimize(args) -> int:
     from repro.batch import BatchJob, BatchOptimizer, job_from_spec
 
     settings = _settings_for(args)
+    # Matches run_job's config fallback exactly (budgets from settings),
+    # so stamping it is content-hash-neutral; it only carries --engine.
+    base_config = OptimizerConfig(
+        max_candidates=settings.max_candidates,
+        max_seconds=settings.max_seconds,
+        engine=args.engine,
+    )
     if args.jobs:
-        base_config = OptimizerConfig(
-            max_candidates=settings.max_candidates,
-            max_seconds=settings.max_seconds,
-        )
         jobs = []
         for index, spec in enumerate(_load_job_specs(args.jobs)):
             try:
@@ -225,9 +244,15 @@ def cmd_batch_optimize(args) -> int:
                 raise JobSpecError(
                     f"job {index} in {args.jobs}: {exc}"
                 ) from None
+        # Specs without budget keys come back config-less; stamp the base
+        # config so --engine reaches them too.
+        import dataclasses
+
+        jobs = [dataclasses.replace(job, config=job.config or base_config)
+                for job in jobs]
     else:
         jobs = [
-            BatchJob(name, threshold, n_rows=args.rows)
+            BatchJob(name, threshold, n_rows=args.rows, config=base_config)
             for name in args.queries
             for threshold in args.thresholds
         ]
@@ -261,13 +286,15 @@ def cmd_serve(args) -> int:
         job_timeout=args.job_timeout,
         store=store,
         executor=args.executor,
+        engine=args.engine,
     ).start()
     server = make_server(service, args.host, args.port, quiet=args.quiet)
     host, port = server.server_address[:2]
     print(
         f"repro job service on http://{host}:{port} "
         f"({args.workers} {args.executor} worker"
-        f"{'s' if args.workers != 1 else ''}, queue {args.queue_size})"
+        f"{'s' if args.workers != 1 else ''}, queue {args.queue_size}, "
+        f"{args.engine} engine)"
     )
     if store is not None:
         stats = service.stats_payload()
@@ -466,6 +493,7 @@ def cmd_scenarios_run(args) -> int:
         executor=args.executor,
         workers=args.workers,
         store_path=args.store,
+        engine=args.engine,
     )
     for cell in snapshot["cells"]:
         marker = " (cached)" if cell["cache_hit"] else ""
@@ -482,7 +510,8 @@ def cmd_scenarios_run(args) -> int:
         f"{summary['job_seconds']:.2f}s search, "
         f"{snapshot['wall_seconds']:.2f}s wall on "
         f"{snapshot['workers']} {snapshot['executor']} worker"
-        f"{'s' if snapshot['workers'] != 1 else ''}"
+        f"{'s' if snapshot['workers'] != 1 else ''} "
+        f"({snapshot['engine']} engine)"
     )
     save(args.output, snapshot)
     print(f"(snapshot written to {args.output})")
@@ -593,10 +622,22 @@ def cmd_attack(args) -> int:
     return 0
 
 
+def cmd_engines(args) -> int:
+    availability = available_engines()
+    for name in ENGINE_NAMES:
+        marker = "available" if availability[name] else (
+            "unavailable (pip install duckdb)" if name == "duckdb"
+            else "unavailable"
+        )
+        default = "  (default)" if name == DEFAULT_ENGINE else ""
+        print(f"{name:<8}{marker}{default}")
+    return 0
+
+
 def cmd_evaluate(args) -> int:
     database = _load_database(args.database)
     query = parse_cq(args.query)
-    results = evaluate(query, database)
+    results = get_engine(args.engine).evaluate(query, database)
     for output, provenance in sorted(results.items(), key=lambda kv: repr(kv[0])):
         print(f"{output} <- {provenance}")
     print(f"({len(results)} rows)")
@@ -655,6 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persistent result-cache file: identical jobs "
                               "are served from it instead of re-searching, "
                               "across runs (see repro.store)")
+    _add_engine_flag(p_batch)
     p_batch.set_defaults(func=cmd_batch_optimize)
 
     p_serve = sub.add_parser(
@@ -694,6 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="SQLite job-store file: jobs and results "
                               "persist across restarts, and identical jobs "
                               "are answered from the result cache")
+    _add_engine_flag(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -804,6 +847,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "from it instead of re-searching")
     p_srun.add_argument("--output", default="BENCH_scenarios.json",
                         help="snapshot file to write")
+    _add_engine_flag(p_srun)
     p_srun.set_defaults(func=cmd_scenarios_run)
 
     p_slist = scen_sub.add_parser(
@@ -859,7 +903,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval = sub.add_parser("evaluate", help="run a query with provenance")
     p_eval.add_argument("--database", required=True)
     p_eval.add_argument("--query", required=True)
+    _add_engine_flag(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_eng = sub.add_parser(
+        "engines",
+        help="list the relational evaluation engines with availability",
+    )
+    p_eng.set_defaults(func=cmd_engines)
 
     p_tree = sub.add_parser("show-tree", help="pretty-print a tree JSON file")
     p_tree.add_argument("--tree", required=True)

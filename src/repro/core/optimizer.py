@@ -61,6 +61,12 @@ class OptimizerConfig:
     # Wall-clock budget for one search; the best abstraction found so far
     # is returned when it runs out (None = unbounded, as in the paper).
     max_seconds: Optional[float] = None
+    # The evaluation engine used when a K-example must be (re)built for
+    # this job: "naive" | "sqlite" | "duckdb".  An execution detail, like
+    # the service's executor tier — every engine produces bit-identical
+    # results, and store/hashing.py strips this field from job content
+    # hashes so results cache across engines.
+    engine: str = "naive"
     privacy: PrivacyConfig = field(default_factory=PrivacyConfig)
 
 

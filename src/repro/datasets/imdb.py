@@ -111,11 +111,11 @@ def generate_imdb(
     # Q4 — a few directors with both an Action and a Comedy movie.
     action_movies = [
         mid for mid in movies
-        if any(t.values[1] == "Action" for t in db.relation("genre").matching({0: mid}))
+        if any(t.values[1] == "Action" for t in db.scan("genre", {0: mid}))
     ]
     comedy_movies = [
         mid for mid in movies
-        if any(t.values[1] == "Comedy" for t in db.relation("genre").matching({0: mid}))
+        if any(t.values[1] == "Comedy" for t in db.scan("genre", {0: mid}))
     ]
     for director in rng.sample(people, min(8, len(people))):
         if action_movies and comedy_movies:

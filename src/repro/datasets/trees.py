@@ -30,7 +30,7 @@ def tpch_lineitem_tree(
     ``must_include`` — typically the K-example's lineitem variables — is
     always part of the sample so the tree can abstract them.
     """
-    annotations = [t.annotation for t in db.relation("lineitem")]
+    annotations = [t.annotation for t in db.scan("lineitem")]
     from repro.abstraction.builders import tree_over_annotations
 
     return tree_over_annotations(
@@ -46,7 +46,7 @@ def imdb_ontology_tree(db: KDatabase) -> AbstractionTree:
     i.e. the paper's 5-level tree.
     """
     movie_year: dict[object, int] = {}
-    for tup in db.relation("movie"):
+    for tup in db.scan("movie"):
         movie_year[tup.values[0]] = int(tup.values[2])
 
     def decade(year: int) -> str:
@@ -54,14 +54,14 @@ def imdb_ontology_tree(db: KDatabase) -> AbstractionTree:
         return f"{low}-{low + 9}"
 
     people: dict[str, dict[str, list[str]]] = {}
-    for tup in db.relation("person"):
+    for tup in db.scan("person"):
         year = int(tup.values[2])
         people.setdefault(f"people-born-{decade(year)}", {}).setdefault(
             f"people-born-{year}", []
         ).append(tup.annotation)
 
     movies: dict[str, dict[str, list[str]]] = {}
-    for tup in db.relation("movie"):
+    for tup in db.scan("movie"):
         year = int(tup.values[2])
         movies.setdefault(f"movies-{decade(year)}", {}).setdefault(
             f"movies-{year}", []
@@ -69,7 +69,7 @@ def imdb_ontology_tree(db: KDatabase) -> AbstractionTree:
 
     def link_categories(relation: str, prefix: str) -> dict:
         out: dict[str, dict[str, list[str]]] = {}
-        for tup in db.relation(relation):
+        for tup in db.scan(relation):
             year = movie_year.get(tup.values[1])
             if year is None:
                 continue
@@ -79,7 +79,7 @@ def imdb_ontology_tree(db: KDatabase) -> AbstractionTree:
         return out
 
     genres: dict[str, list[str]] = {}
-    for tup in db.relation("genre"):
+    for tup in db.scan("genre"):
         genres.setdefault(f"genre-{tup.values[1]}", []).append(tup.annotation)
 
     return tree_from_categories({

@@ -161,6 +161,18 @@ class KDatabase:
         self._registry.register(tup)
         return tup
 
+    def scan(
+        self, relation: str, bindings: Optional[dict[int, Any]] = None
+    ) -> Iterator[Tuple]:
+        """Tuples of ``relation`` matching ``bindings`` (insertion order).
+
+        The sanctioned read path for code outside the engine and db
+        layers: REP006 (``engine_discipline``) bans direct
+        ``KRelation.matching`` calls and relation iteration elsewhere so
+        evaluation strategy stays the engine tier's concern.
+        """
+        return self.relation(relation).matching(bindings or {})
+
     def tuples(self) -> Iterator[Tuple]:
         """All tuples across all relations."""
         for rel in self._relations.values():

@@ -1,0 +1,46 @@
+"""Pluggable relational-engine layer (the execution tier of evaluation).
+
+Evaluation strategy — the naive in-memory DFS, or compilation to SQL on
+an embedded engine — is an *execution detail*: every engine yields the
+same derivations in the same canonical order, so K-examples, job
+payloads, and snapshot hashes are bit-identical across engines (and the
+content-addressed result cache gives cross-engine hits).
+"""
+
+from repro.engine.base import (
+    Derivation,
+    EvaluationEngine,
+    OutputRow,
+    atom_order,
+    head_values,
+    validate_query,
+)
+from repro.engine.naive import NaiveEngine, derivations
+from repro.engine.sql import SqlEngine, encode_value
+from repro.engine.registry import (
+    DEFAULT_ENGINE,
+    ENGINE_NAMES,
+    available_engines,
+    duckdb_available,
+    get_engine,
+    resolve_engine,
+)
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "Derivation",
+    "ENGINE_NAMES",
+    "EvaluationEngine",
+    "NaiveEngine",
+    "OutputRow",
+    "SqlEngine",
+    "encode_value",
+    "atom_order",
+    "available_engines",
+    "derivations",
+    "duckdb_available",
+    "get_engine",
+    "head_values",
+    "resolve_engine",
+    "validate_query",
+]

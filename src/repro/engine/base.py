@@ -1,0 +1,178 @@
+"""The evaluation-engine contract and the shared provenance machinery.
+
+An :class:`EvaluationEngine` turns a CQ/UCQ plus a K-database into the
+same provenance-annotated rows the paper's Definition 2.2 prescribes:
+each output tuple annotated with the sum, over all derivations producing
+it, of the product of the annotations in the derivation's image.  The
+engine only decides *how* derivations are enumerated — every engine must
+yield them in the same canonical order (the naive engine's DFS order) so
+downstream artifacts (K-examples, job payloads, snapshot hashes) are
+bit-identical regardless of the execution backend.
+
+The pieces every engine shares — :class:`Derivation`, query validation,
+the greedy join order, head substitution, and the CQ/UCQ accumulation —
+live here; engines only implement :meth:`EvaluationEngine.derivations`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+from typing import Any
+
+from repro.db.database import KDatabase
+from repro.db.tuples import Tuple
+from repro.errors import EvaluationError
+from repro.query.ast import CQ, UCQ, Atom, Constant, Variable
+from repro.semirings.polynomial import Monomial, Polynomial
+
+OutputRow = tuple  # the values of the head after substitution
+
+
+class Derivation:
+    """A single derivation: the atom-to-tuple assignment of one match."""
+
+    __slots__ = ("_query", "_images", "_bindings")
+
+    def __init__(
+        self,
+        query: CQ,
+        images: tuple[Tuple, ...],
+        bindings: dict[Variable, Any],
+    ):
+        self._query = query
+        self._images = images
+        self._bindings = bindings
+
+    @property
+    def query(self) -> CQ:
+        return self._query
+
+    @property
+    def images(self) -> tuple[Tuple, ...]:
+        """The tuple assigned to each body atom, in body order."""
+        return self._images
+
+    @property
+    def bindings(self) -> dict[Variable, Any]:
+        return dict(self._bindings)
+
+    def output(self) -> OutputRow:
+        """The head tuple produced by this derivation."""
+        return head_values(self._query.head, self._bindings)
+
+    def monomial(self) -> Monomial:
+        """The provenance monomial: product of the image annotations."""
+        return Monomial(tup.annotation for tup in self._images)
+
+    def __repr__(self) -> str:
+        return f"Derivation({self.output()!r} via {self.monomial()!r})"
+
+
+def validate_query(query: CQ, database: KDatabase) -> None:
+    """Check every body atom against the database schema (or raise)."""
+    for name in {atom.relation for atom in query.body}:
+        if name not in database.schema:
+            raise EvaluationError(f"query uses unknown relation {name!r}")
+        for atom in query.body:
+            if (
+                atom.relation == name
+                and atom.arity != database.schema.relation(name).arity
+            ):
+                raise EvaluationError(
+                    f"atom {atom!r} does not match arity of relation {name!r}"
+                )
+
+
+def atom_order(query: CQ, database: KDatabase) -> list[int]:
+    """Greedy join order: start from the most selective atom, then grow
+    the connected frontier, preferring atoms that share bound variables."""
+    remaining = set(range(len(query.body)))
+    bound_vars: set[Variable] = set()
+    order: list[int] = []
+
+    def selectivity(index: int) -> tuple:
+        atom = query.body[index]
+        n_bound = sum(
+            1
+            for t in atom.terms
+            if isinstance(t, Constant) or t in bound_vars
+        )
+        size = len(database.relation(atom.relation))
+        return (-n_bound, size)
+
+    while remaining:
+        best = min(remaining, key=selectivity)
+        remaining.discard(best)
+        order.append(best)
+        bound_vars.update(query.body[best].variables())
+    return order
+
+
+def head_values(head: Atom, bindings: dict[Variable, Any]) -> OutputRow:
+    """Substitute ``bindings`` into the head atom."""
+    values = []
+    for term in head.terms:
+        if isinstance(term, Constant):
+            values.append(term.value)
+        else:
+            if term not in bindings:
+                raise EvaluationError(f"unbound head variable {term!r}")
+            values.append(bindings[term])
+    return tuple(values)
+
+
+class EvaluationEngine(abc.ABC):
+    """One way of enumerating the derivations of a CQ over a K-database.
+
+    Subclasses implement :meth:`derivations`; the polynomial accumulation
+    is shared so that — given the canonical derivation order — every
+    engine produces the *same* result dict, in the same insertion order,
+    with the same polynomials.  That identity is what lets the store
+    treat the engine as an execution detail (cross-engine cache hits).
+    """
+
+    #: The registry name of the engine (``naive``, ``sqlite``, ...).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def derivations(self, query: CQ, database: KDatabase) -> Iterator[Derivation]:
+        """Enumerate every derivation of ``query`` over ``database``.
+
+        Must yield derivations in the canonical order: the DFS order of
+        the naive engine along :func:`atom_order`.
+        """
+
+    def evaluate_cq(
+        self, query: CQ, database: KDatabase
+    ) -> dict[OutputRow, Polynomial]:
+        """Evaluate a CQ, returning each output row's provenance polynomial."""
+        result: dict[OutputRow, Polynomial] = {}
+        for derivation in self.derivations(query, database):
+            row = derivation.output()
+            mono = derivation.monomial()
+            current = result.get(row, Polynomial.zero())
+            result[row] = current + mono
+        return result
+
+    def evaluate_ucq(
+        self, query: UCQ, database: KDatabase
+    ) -> dict[OutputRow, Polynomial]:
+        """Evaluate a UCQ: provenance polynomials add across disjuncts."""
+        result: dict[OutputRow, Polynomial] = {}
+        for cq in query.disjuncts:
+            for row, poly in self.evaluate_cq(cq, database).items():
+                current = result.get(row, Polynomial.zero())
+                result[row] = current + poly
+        return result
+
+    def evaluate(
+        self, query: "CQ | UCQ", database: KDatabase
+    ) -> dict[OutputRow, Polynomial]:
+        """Evaluate a CQ or UCQ with provenance tracking."""
+        if isinstance(query, UCQ):
+            return self.evaluate_ucq(query, database)
+        return self.evaluate_cq(query, database)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,79 @@
+"""The naive engine: in-memory index-nested-loop joins.
+
+This is the historical ``repro.query.evaluator`` strategy, unchanged: a
+DFS over body atoms in the greedy :func:`repro.engine.base.atom_order`,
+probing :class:`repro.db.database.KRelation` indexes.  Its enumeration
+order — lexicographic in the tuples' insertion positions along the atom
+order — is the canonical derivation order every other engine must
+reproduce bit for bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any, Optional
+
+from repro.db.database import KDatabase
+from repro.db.tuples import Tuple
+from repro.engine.base import (
+    Derivation,
+    EvaluationEngine,
+    atom_order,
+    validate_query,
+)
+from repro.query.ast import CQ, Constant, Variable
+
+
+def derivations(query: CQ, database: KDatabase) -> Iterator[Derivation]:
+    """Enumerate every derivation of ``query`` over ``database``."""
+    validate_query(query, database)
+    order = atom_order(query, database)
+    assignment: list[Optional[Tuple]] = [None] * len(query.body)
+    yield from _search(query, database, order, 0, {}, assignment)
+
+
+def _search(
+    query: CQ,
+    database: KDatabase,
+    order: list[int],
+    depth: int,
+    bindings: dict[Variable, Any],
+    assignment: list[Optional[Tuple]],
+) -> Iterator[Derivation]:
+    if depth == len(order):
+        yield Derivation(query, tuple(assignment), dict(bindings))  # type: ignore[arg-type]
+        return
+    atom_index = order[depth]
+    atom = query.body[atom_index]
+    relation = database.relation(atom.relation)
+    fixed: dict[int, Any] = {}
+    for pos, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            fixed[pos] = term.value
+        elif term in bindings:
+            fixed[pos] = bindings[term]
+    for tup in relation.matching(fixed):
+        new_vars: list[Variable] = []
+        ok = True
+        for pos, term in enumerate(atom.terms):
+            if isinstance(term, Variable) and term not in bindings:
+                bindings[term] = tup.values[pos]
+                new_vars.append(term)
+            elif isinstance(term, Variable) and bindings[term] != tup.values[pos]:
+                ok = False
+                break
+        if ok:
+            assignment[atom_index] = tup
+            yield from _search(query, database, order, depth + 1, bindings, assignment)
+            assignment[atom_index] = None
+        for var in new_vars:
+            del bindings[var]
+
+
+class NaiveEngine(EvaluationEngine):
+    """Thin adapter over the module-level DFS — the default engine."""
+
+    name = "naive"
+
+    def derivations(self, query: CQ, database: KDatabase) -> Iterator[Derivation]:
+        return derivations(query, database)

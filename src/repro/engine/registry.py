@@ -1,0 +1,84 @@
+"""Engine lookup: names, availability, and shared instances.
+
+The registry hands out *shared* engine instances so the SQL engines'
+loaded-database caches stay warm across call sites (the scenario
+materializer evaluates many queries over the same databases).  Engine
+choice is an execution detail — the store strips it from content hashes
+— so sharing instances is safe: every engine produces bit-identical
+results by contract.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.engine.base import EvaluationEngine
+from repro.engine.naive import NaiveEngine
+from repro.errors import EvaluationError
+
+#: Every engine name the CLI and configs accept, in display order.
+ENGINE_NAMES = ("naive", "sqlite", "duckdb")
+
+#: The engine used when nothing is configured.
+DEFAULT_ENGINE = "naive"
+
+_instances: dict[str, EvaluationEngine] = {}
+
+
+def duckdb_available() -> bool:
+    """Whether the optional DuckDB backend is importable."""
+    try:
+        import duckdb  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def available_engines() -> dict[str, bool]:
+    """Engine name -> availability, in :data:`ENGINE_NAMES` order."""
+    return {
+        "naive": True,
+        "sqlite": True,
+        "duckdb": duckdb_available(),
+    }
+
+
+def get_engine(name: str = DEFAULT_ENGINE) -> EvaluationEngine:
+    """The shared engine instance for ``name`` (or raise cleanly).
+
+    Unknown names and unavailable optional backends both raise
+    :class:`~repro.errors.EvaluationError` (a :class:`ReproError`), so
+    the CLI reports them as ``error:`` + exit 2 instead of a traceback.
+    """
+    if name not in ENGINE_NAMES:
+        raise EvaluationError(
+            f"unknown engine {name!r} "
+            f"(known engines: {', '.join(ENGINE_NAMES)})"
+        )
+    if name == "duckdb" and not duckdb_available():
+        raise EvaluationError(
+            "engine 'duckdb' requested but the duckdb module is not "
+            "importable; install it (pip install duckdb) or use "
+            "--engine sqlite"
+        )
+    engine = _instances.get(name)
+    if engine is None:
+        if name == "naive":
+            engine = NaiveEngine()
+        else:
+            from repro.engine.sql import SqlEngine
+
+            engine = SqlEngine(dialect=name)
+        _instances[name] = engine
+    return engine
+
+
+def resolve_engine(
+    engine: Optional[Union[str, EvaluationEngine]] = None,
+) -> EvaluationEngine:
+    """Normalize an engine handle: ``None`` -> default, names -> lookup."""
+    if engine is None:
+        return get_engine(DEFAULT_ENGINE)
+    if isinstance(engine, EvaluationEngine):
+        return engine
+    return get_engine(engine)

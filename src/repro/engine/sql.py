@@ -1,0 +1,232 @@
+"""The SQL engine: compile CQ bodies to SELECT/JOIN/WHERE and run them
+on an embedded relational engine (stdlib ``sqlite3`` always, DuckDB when
+importable).
+
+Provenance is captured, not approximated: each body atom contributes an
+annotation column to the SELECT list, so every result row *is* one
+derivation — the monomial is reassembled from the returned annotations
+and is identical to what the naive DFS produces.  Bit-identity with the
+naive engine rests on two invariants:
+
+* **Order** — the naive DFS enumerates derivations in lexicographic
+  order of the matched tuples' insertion positions along
+  :func:`repro.engine.base.atom_order`; an ``ORDER BY`` over per-atom
+  ``rid`` (insertion position) columns in that same atom order
+  reproduces it exactly.
+* **Equality** — SQL comparisons run over a canonical text encoding
+  (:func:`encode_value`) under which two encodings are equal iff the
+  original Python values are ``==`` (notably ``1 == 1.0 == True``), so
+  the SQL join semantics coincide with the DFS's dict-based matching.
+  Result values are *not* decoded: the original Python objects are
+  recovered through the annotation registry, so outputs carry the very
+  same objects the naive engine yields.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from collections.abc import Iterator
+from typing import Any, Optional
+
+from repro.db.database import KDatabase
+from repro.engine.base import (
+    Derivation,
+    EvaluationEngine,
+    atom_order,
+    validate_query,
+)
+from repro.errors import EvaluationError
+from repro.query.ast import CQ, Constant, Variable
+
+#: Loaded databases kept per engine (LRU); each holds one table set.
+_MAX_LOADED = 4
+
+
+def encode_value(value: Any) -> str:
+    """Canonical text encoding, preserving Python ``==`` classes.
+
+    ``bool`` folds into ``int`` (``True == 1``) and integral floats fold
+    into ``int`` (``1.0 == 1``), so every member of a Python equality
+    class encodes to the same string and SQL ``=`` agrees with ``==``.
+    (NaN breaks this for ``==`` too; the generated datasets contain
+    none.)
+    """
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        if value.is_integer():
+            return f"i:{int(value)}"
+        return f"f:{value!r}"
+    if isinstance(value, str):
+        return f"s:{value}"
+    return f"r:{value!r}"
+
+
+class _LoadedDatabase:
+    """One K-database materialized as tables on the shared connection."""
+
+    __slots__ = ("database", "prefix", "tables", "n_tuples")
+
+    def __init__(
+        self,
+        database: KDatabase,
+        prefix: str,
+        tables: dict[str, str],
+        n_tuples: int,
+    ):
+        self.database = database
+        self.prefix = prefix
+        self.tables = tables
+        self.n_tuples = n_tuples
+
+
+class SqlEngine(EvaluationEngine):
+    """Evaluate CQs by compiling them to SQL over an embedded engine.
+
+    One engine instance owns one in-memory connection shared across
+    threads (the service's worker pool), serialized by an internal lock;
+    loaded databases are cached so repeated evaluations over the same
+    K-database (the scenario matrix, K-example construction) skip the
+    table load.
+    """
+
+    def __init__(self, dialect: str = "sqlite"):
+        if dialect not in ("sqlite", "duckdb"):
+            raise EvaluationError(
+                f"unknown SQL dialect {dialect!r} (use 'sqlite' or 'duckdb')"
+            )
+        self.name = dialect
+        self._lock = threading.Lock()
+        self._loaded: list[_LoadedDatabase] = []
+        self._load_seq = 0
+        if dialect == "duckdb":
+            try:
+                import duckdb
+            except ImportError:
+                raise EvaluationError(
+                    "engine 'duckdb' requires the duckdb package, which is "
+                    "not importable in this environment"
+                ) from None
+            self._conn = duckdb.connect(":memory:")
+        else:
+            # The service runs jobs on worker threads; the shared
+            # connection is guarded by self._lock, not by sqlite's
+            # same-thread check.
+            self._conn = sqlite3.connect(
+                ":memory:", check_same_thread=False
+            )
+
+    # -- loading -----------------------------------------------------------
+
+    def _lookup(self, database: KDatabase) -> Optional[_LoadedDatabase]:
+        """The cache entry for ``database`` (identity match), if current."""
+        for pos, entry in enumerate(self._loaded):
+            if entry.database is database:
+                if entry.n_tuples != database.total_tuples():
+                    # The database mutated since it was loaded; the
+                    # tables are stale.  Drop and reload.
+                    self._drop(entry)
+                    del self._loaded[pos]
+                    return None
+                # Move to the front (most recently used).
+                del self._loaded[pos]
+                self._loaded.insert(0, entry)
+                return entry
+        return None
+
+    def _drop(self, entry: _LoadedDatabase) -> None:
+        for table in entry.tables.values():
+            self._conn.execute(f"DROP TABLE IF EXISTS {table}")
+
+    def _load(self, database: KDatabase) -> _LoadedDatabase:
+        """Materialize ``database`` as ``{prefix}_r{i}`` tables."""
+        self._load_seq += 1
+        prefix = f"d{self._load_seq}"
+        tables: dict[str, str] = {}
+        for index, rel_schema in enumerate(database.schema):
+            table = f"{prefix}_r{index}"
+            tables[rel_schema.name] = table
+            columns = ", ".join(
+                f"c{pos} TEXT" for pos in range(rel_schema.arity)
+            )
+            self._conn.execute(
+                f"CREATE TABLE {table} ({columns}, ann TEXT, rid INTEGER)"
+            )
+            rows = [
+                (*[encode_value(v) for v in tup.values], tup.annotation, rid)
+                for rid, tup in enumerate(database.relation(rel_schema.name))
+            ]
+            if rows:
+                marks = ", ".join("?" for _ in range(rel_schema.arity + 2))
+                self._conn.executemany(
+                    f"INSERT INTO {table} VALUES ({marks})", rows
+                )
+            for pos in range(rel_schema.arity):
+                self._conn.execute(
+                    f"CREATE INDEX {table}_c{pos} ON {table} (c{pos})"
+                )
+        entry = _LoadedDatabase(
+            database, prefix, tables, database.total_tuples()
+        )
+        self._loaded.insert(0, entry)
+        while len(self._loaded) > _MAX_LOADED:
+            self._drop(self._loaded.pop())
+        return entry
+
+    # -- compilation -------------------------------------------------------
+
+    def _compile(
+        self, query: CQ, database: KDatabase, tables: dict[str, str]
+    ) -> tuple[str, list[str]]:
+        """The (sql, params) pair enumerating derivations in DFS order."""
+        order = atom_order(query, database)
+        select = ", ".join(f"a{i}.ann" for i in range(len(query.body)))
+        from_clause = ", ".join(
+            f"{tables[query.body[i].relation]} AS a{i}" for i in order
+        )
+        conditions: list[str] = []
+        params: list[str] = []
+        first_seen: dict[Variable, str] = {}
+        # Walk atoms in join order so variable-equality chains anchor at
+        # the column the DFS binds first (pure hygiene: any consistent
+        # chaining is equivalent under transitivity of =).
+        for i in order:
+            for pos, term in enumerate(query.body[i].terms):
+                column = f"a{i}.c{pos}"
+                if isinstance(term, Constant):
+                    conditions.append(f"{column} = ?")
+                    params.append(encode_value(term.value))
+                elif term in first_seen:
+                    conditions.append(f"{column} = {first_seen[term]}")
+                else:
+                    first_seen[term] = column
+        sql = f"SELECT {select} FROM {from_clause}"
+        if conditions:
+            sql += " WHERE " + " AND ".join(conditions)
+        sql += " ORDER BY " + ", ".join(f"a{i}.rid" for i in order)
+        return sql, params
+
+    # -- evaluation --------------------------------------------------------
+
+    def derivations(self, query: CQ, database: KDatabase) -> Iterator[Derivation]:
+        validate_query(query, database)
+        with self._lock:
+            entry = self._lookup(database) or self._load(database)
+            sql, params = self._compile(query, database, entry.tables)
+            rows = self._conn.execute(sql, params).fetchall()
+        order = atom_order(query, database)
+        for row in rows:
+            images = tuple(database.resolve(ann) for ann in row)
+            # Rebind variables exactly as the DFS does — first occurrence
+            # along the join order wins — so bindings (and therefore
+            # head outputs) carry the identical Python objects.
+            bindings: dict[Variable, Any] = {}
+            for i in order:
+                tup = images[i]
+                for pos, term in enumerate(query.body[i].terms):
+                    if isinstance(term, Variable) and term not in bindings:
+                        bindings[term] = tup.values[pos]
+            yield Derivation(query, images, bindings)

@@ -95,12 +95,18 @@ def prepare_context(
     n_leaves: Optional[int] = None,
     height: Optional[int] = None,
     query: Optional[CQ] = None,
+    engine: Optional[str] = None,
 ) -> ExperimentContext:
-    """Assemble database + query + K-example + tree for one run."""
+    """Assemble database + query + K-example + tree for one run.
+
+    ``engine`` picks the evaluation backend for the K-example build (an
+    execution detail: the context is bit-identical for every engine).
+    """
     database = database_for(query_name, settings)
     query = query or get_query(query_name)
     example = build_kexample(
-        query, database, n_rows=n_rows or settings.kexample_rows
+        query, database, n_rows=n_rows or settings.kexample_rows,
+        engine=engine,
     )
     tree = tree_for(database, example, settings, n_leaves=n_leaves, height=height)
     return ExperimentContext(

@@ -32,7 +32,7 @@ def database_to_csv_dir(database: KDatabase, directory: "str | Path") -> None:
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow([ANNOTATION_COLUMN, *rel_schema.attributes])
-            for tup in database.relation(rel_schema.name):
+            for tup in database.scan(rel_schema.name):
                 writer.writerow([tup.annotation, *tup.values])
 
 

@@ -10,10 +10,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.db.database import KDatabase
+from repro.engine.registry import resolve_engine
 from repro.errors import EvaluationError
 from repro.provenance.kexample import KExample, KExampleRow
 from repro.query.ast import CQ
-from repro.query.evaluator import derivations
 from repro.semirings.semimodule import AggregateExpression, AggregateOp, AggregateTerm
 
 
@@ -23,6 +23,7 @@ def build_kexample(
     n_rows: int = 2,
     distinct_outputs: bool = True,
     max_overlap: Optional[float] = None,
+    engine=None,
 ) -> KExample:
     """Evaluate ``query`` and keep the first ``n_rows`` explained results.
 
@@ -32,12 +33,15 @@ def build_kexample(
     ``max_overlap`` (0..1) additionally skips derivations whose annotations
     mostly repeat earlier rows' — useful to avoid degenerate examples (e.g.
     the same movie explaining every row), which would bake spurious
-    constants into the reverse-engineered queries.
+    constants into the reverse-engineered queries.  ``engine`` picks the
+    evaluation backend (name or :class:`EvaluationEngine`; default
+    naive); every engine yields the same derivations in the same order,
+    so the resulting K-example is engine-independent.
     """
     rows: list[KExampleRow] = []
     seen_outputs: set[tuple] = set()
     seen_annotations: set[str] = set()
-    for derivation in derivations(query, database):
+    for derivation in resolve_engine(engine).derivations(query, database):
         output = derivation.output()
         if distinct_outputs and output in seen_outputs:
             continue
@@ -66,6 +70,7 @@ def build_aggregate_example(
     op: AggregateOp,
     value_column: int,
     n_terms: Optional[int] = None,
+    engine=None,
 ) -> AggregateExpression:
     """Aggregate provenance for ``query``: one tensor term per derivation.
 
@@ -74,7 +79,7 @@ def build_aggregate_example(
     Section 3.4, ready to be abstracted alongside a matching K-example.
     """
     terms: list[AggregateTerm] = []
-    for derivation in derivations(query, database):
+    for derivation in resolve_engine(engine).derivations(query, database):
         output = derivation.output()
         value = output[value_column]
         if not isinstance(value, (int, float)):

@@ -127,6 +127,28 @@ class KExample:
         """The K-example restricted to its first ``n_rows`` rows."""
         return KExample(self._rows[:n_rows], self._registry)
 
+    def verify_against(self, query, database, engine=None) -> bool:
+        """Whether every row is a genuine (output, derivation) of ``query``.
+
+        Re-evaluates ``query`` over ``database`` on the given engine
+        (name or :class:`~repro.engine.base.EvaluationEngine`; default
+        naive) and checks each row's monomial appears in its output's
+        provenance polynomial — i.e. the K-example really shows one
+        derivation per row (Definition 2.4), under whichever execution
+        backend re-checks it.
+        """
+        from repro.engine.registry import resolve_engine
+        from repro.semirings.polynomial import Polynomial
+
+        results = resolve_engine(engine).evaluate(query, database)
+        for row in self._rows:
+            polynomial = results.get(row.output)
+            if polynomial is None:
+                return False
+            if not Polynomial.from_monomials([row.monomial()]) <= polynomial:
+                return False
+        return True
+
     def is_connected(self) -> bool:
         """Connectivity in the paper's sense (Section 4.1, item 2).
 

@@ -6,182 +6,71 @@ tuples in the derivation's image.  Evaluation always produces ``N[X]``
 polynomials; coarser semirings are obtained with
 :func:`repro.semirings.coarsen`.
 
-The join strategy is index-nested-loops with a greedy most-selective-atom
-ordering, which is plenty for the K-example workloads of the paper (a few
-atoms over generated datasets).
+The implementation lives in :mod:`repro.engine` — this module is the
+stable facade over the default (naive) engine, kept so the historical
+import surface (``from repro.query.evaluator import evaluate``) keeps
+working.  Pick a different execution backend with
+:func:`repro.engine.get_engine`.
+
+The engine imports are deliberately lazy: ``repro.engine`` itself uses
+the query AST, and importing it here at module scope would close an
+import cycle through ``repro.query.__init__``.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
-from typing import Any, Optional
+from typing import TYPE_CHECKING
 
 from repro.db.database import KDatabase
-from repro.db.tuples import Tuple
-from repro.errors import EvaluationError
-from repro.query.ast import CQ, UCQ, Atom, Constant, Variable
-from repro.semirings.polynomial import Monomial, Polynomial
+from repro.query.ast import CQ, UCQ
+from repro.semirings.polynomial import Polynomial
 
-OutputRow = tuple  # the values of the head after substitution
+if TYPE_CHECKING:
+    from repro.engine.base import Derivation, OutputRow
 
-
-class Derivation:
-    """A single derivation: the atom-to-tuple assignment of one match."""
-
-    __slots__ = ("_query", "_images", "_bindings")
-
-    def __init__(
-        self,
-        query: CQ,
-        images: tuple[Tuple, ...],
-        bindings: dict[Variable, Any],
-    ):
-        self._query = query
-        self._images = images
-        self._bindings = bindings
-
-    @property
-    def query(self) -> CQ:
-        return self._query
-
-    @property
-    def images(self) -> tuple[Tuple, ...]:
-        """The tuple assigned to each body atom, in body order."""
-        return self._images
-
-    @property
-    def bindings(self) -> dict[Variable, Any]:
-        return dict(self._bindings)
-
-    def output(self) -> OutputRow:
-        """The head tuple produced by this derivation."""
-        return _head_values(self._query.head, self._bindings)
-
-    def monomial(self) -> Monomial:
-        """The provenance monomial: product of the image annotations."""
-        return Monomial(tup.annotation for tup in self._images)
-
-    def __repr__(self) -> str:
-        return f"Derivation({self.output()!r} via {self.monomial()!r})"
+__all__ = [
+    "Derivation",
+    "OutputRow",
+    "derivations",
+    "evaluate",
+    "evaluate_cq",
+    "evaluate_ucq",
+]
 
 
-def derivations(query: CQ, database: KDatabase) -> Iterator[Derivation]:
+def derivations(query: CQ, database: KDatabase) -> "Iterator[Derivation]":
     """Enumerate every derivation of ``query`` over ``database``."""
-    for name in {atom.relation for atom in query.body}:
-        if name not in database.schema:
-            raise EvaluationError(f"query uses unknown relation {name!r}")
-        for atom in query.body:
-            if (
-                atom.relation == name
-                and atom.arity != database.schema.relation(name).arity
-            ):
-                raise EvaluationError(
-                    f"atom {atom!r} does not match arity of relation {name!r}"
-                )
+    from repro.engine.naive import derivations as naive_derivations
 
-    order = _atom_order(query, database)
-    assignment: list[Optional[Tuple]] = [None] * len(query.body)
-    yield from _search(query, database, order, 0, {}, assignment)
+    return naive_derivations(query, database)
 
 
-def _search(
-    query: CQ,
-    database: KDatabase,
-    order: list[int],
-    depth: int,
-    bindings: dict[Variable, Any],
-    assignment: list[Optional[Tuple]],
-) -> Iterator[Derivation]:
-    if depth == len(order):
-        yield Derivation(query, tuple(assignment), dict(bindings))  # type: ignore[arg-type]
-        return
-    atom_index = order[depth]
-    atom = query.body[atom_index]
-    relation = database.relation(atom.relation)
-    fixed: dict[int, Any] = {}
-    for pos, term in enumerate(atom.terms):
-        if isinstance(term, Constant):
-            fixed[pos] = term.value
-        elif term in bindings:
-            fixed[pos] = bindings[term]
-    for tup in relation.matching(fixed):
-        new_vars: list[Variable] = []
-        ok = True
-        for pos, term in enumerate(atom.terms):
-            if isinstance(term, Variable) and term not in bindings:
-                bindings[term] = tup.values[pos]
-                new_vars.append(term)
-            elif isinstance(term, Variable) and bindings[term] != tup.values[pos]:
-                ok = False
-                break
-        if ok:
-            assignment[atom_index] = tup
-            yield from _search(query, database, order, depth + 1, bindings, assignment)
-            assignment[atom_index] = None
-        for var in new_vars:
-            del bindings[var]
-
-
-def _atom_order(query: CQ, database: KDatabase) -> list[int]:
-    """Greedy join order: start from the most selective atom, then grow
-    the connected frontier, preferring atoms that share bound variables."""
-    remaining = set(range(len(query.body)))
-    bound_vars: set[Variable] = set()
-    order: list[int] = []
-
-    def selectivity(index: int) -> tuple:
-        atom = query.body[index]
-        n_bound = sum(
-            1
-            for t in atom.terms
-            if isinstance(t, Constant) or t in bound_vars
-        )
-        size = len(database.relation(atom.relation))
-        return (-n_bound, size)
-
-    while remaining:
-        best = min(remaining, key=selectivity)
-        remaining.discard(best)
-        order.append(best)
-        bound_vars.update(query.body[best].variables())
-    return order
-
-
-def _head_values(head: Atom, bindings: dict[Variable, Any]) -> OutputRow:
-    values = []
-    for term in head.terms:
-        if isinstance(term, Constant):
-            values.append(term.value)
-        else:
-            if term not in bindings:
-                raise EvaluationError(f"unbound head variable {term!r}")
-            values.append(bindings[term])
-    return tuple(values)
-
-
-def evaluate_cq(query: CQ, database: KDatabase) -> dict[OutputRow, Polynomial]:
+def evaluate_cq(query: CQ, database: KDatabase) -> "dict[OutputRow, Polynomial]":
     """Evaluate a CQ, returning each output row's provenance polynomial."""
-    result: dict[OutputRow, Polynomial] = {}
-    for derivation in derivations(query, database):
-        row = derivation.output()
-        mono = derivation.monomial()
-        current = result.get(row, Polynomial.zero())
-        result[row] = current + mono
-    return result
+    from repro.engine.registry import get_engine
+
+    return get_engine().evaluate_cq(query, database)
 
 
-def evaluate_ucq(query: UCQ, database: KDatabase) -> dict[OutputRow, Polynomial]:
+def evaluate_ucq(query: UCQ, database: KDatabase) -> "dict[OutputRow, Polynomial]":
     """Evaluate a UCQ: provenance polynomials add across disjuncts."""
-    result: dict[OutputRow, Polynomial] = {}
-    for cq in query.disjuncts:
-        for row, poly in evaluate_cq(cq, database).items():
-            current = result.get(row, Polynomial.zero())
-            result[row] = current + poly
-    return result
+    from repro.engine.registry import get_engine
+
+    return get_engine().evaluate_ucq(query, database)
 
 
-def evaluate(query: "CQ | UCQ", database: KDatabase) -> dict[OutputRow, Polynomial]:
+def evaluate(query: "CQ | UCQ", database: KDatabase) -> "dict[OutputRow, Polynomial]":
     """Evaluate a CQ or UCQ with provenance tracking."""
-    if isinstance(query, UCQ):
-        return evaluate_ucq(query, database)
-    return evaluate_cq(query, database)
+    from repro.engine.registry import get_engine
+
+    return get_engine().evaluate(query, database)
+
+
+def __getattr__(name: str):
+    # Lazy re-exports of the engine-layer types (see module docstring).
+    if name in ("Derivation", "OutputRow"):
+        from repro.engine import base
+
+        return getattr(base, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

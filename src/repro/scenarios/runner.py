@@ -37,6 +37,7 @@ def run_matrix(
     workers: int = 2,
     store_path: Optional[str] = None,
     settings=None,
+    engine: str = "naive",
 ) -> dict:
     """Run every cell of ``matrix`` and return the snapshot dict.
 
@@ -45,12 +46,17 @@ def run_matrix(
     caching.  Any cell that fails aborts the whole run with a
     :class:`ScenarioError` — a seeded, candidate-capped matrix has no
     legitimate per-cell failures, so one is a bug, not a data point.
+
+    ``engine`` picks the relational evaluation backend, exactly like
+    ``executor`` picks the concurrency tier: content hashes, result
+    hashes, and payloads are identical across engines, so runs on
+    different engines share the persistent cache.
     """
     from repro.experiments.settings import DEFAULT_SETTINGS
 
     matrix.validate()
     settings = settings or DEFAULT_SETTINGS
-    jobs = materialize(matrix, seed)
+    jobs = materialize(matrix, seed, engine=engine)
     store = JobStore(store_path) if store_path else None
     service = JobService(
         settings=settings,
@@ -58,6 +64,7 @@ def run_matrix(
         max_queue=0,  # unbounded: the matrix is submitted all at once
         store=store,
         executor=executor,
+        engine=engine,
     )
     started = time.time()
     service.start()
@@ -84,6 +91,7 @@ def run_matrix(
         "matrix": matrix.to_dict(),
         "seed": seed,
         "executor": executor,
+        "engine": engine,
         "workers": max(1, workers),
         "generated_at": started,
         "wall_seconds": wall,

@@ -66,6 +66,7 @@ from typing import Optional, Sequence
 
 from repro.batch.jobs import BatchJobResult, job_from_spec, job_to_spec
 from repro.core.optimizer import OptimizerConfig
+from repro.engine import DEFAULT_ENGINE
 from repro.errors import JobSpecError, ServiceError
 from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
 from repro.service.executors import make_backend
@@ -131,10 +132,20 @@ class JobService:
         job_timeout: Optional[float] = None,
         store: Optional[JobStore] = None,
         executor: str = "thread",
+        engine: str = "naive",
     ):
+        from repro.engine import get_engine
+
         self._settings = settings
         self._worker_threads = max(0, worker_threads)
         self._job_timeout = job_timeout
+        # The evaluation engine stamped onto every job this service runs
+        # (an execution detail, like the executor tier: content hashes
+        # and results are engine-independent).  Resolving it now fails
+        # fast — `serve --engine duckdb` without duckdb importable must
+        # die at startup, not on the first job.
+        get_engine(engine)
+        self._engine = engine
         # Capacity is enforced on the *queued-record count*, not the
         # Queue's maxsize: a cancelled job leaves a stale id in the Queue
         # (workers skip it) but frees its capacity slot immediately.
@@ -403,6 +414,7 @@ class JobService:
         return OptimizerConfig(
             max_candidates=self._settings.max_candidates,
             max_seconds=self._settings.max_seconds,
+            engine=self._engine,
         )
 
     # -- queries -----------------------------------------------------------
@@ -458,6 +470,7 @@ class JobService:
             return {
                 "uptime_seconds": time.monotonic() - self._started_monotonic,
                 "executor": self._backend.name,
+                "engine": self._engine,
                 "worker_threads": self._worker_threads,
                 "queue_capacity": self._max_queue,
                 "queue_depth": states.count(JOB_QUEUED),
@@ -523,17 +536,32 @@ class JobService:
                     )
 
     def _effective_job(self, job):
-        """The job with ``max_seconds`` clamped to the service timeout."""
-        if self._job_timeout is None:
+        """The job as it will actually run: ``max_seconds`` clamped to the
+        service timeout, and the service's engine stamped on the config.
+
+        Neither adjustment moves the content hash: the materialized base
+        budgets equal :func:`repro.store.hashing.effective_config`'s
+        fallback exactly, and the engine field is stripped from hashing.
+        A job that needs neither is returned untouched — a config-less
+        job on a default-engine service already runs exactly this config
+        through :func:`repro.batch.optimizer.run_job`'s own fallback.
+        """
+        base = job.config or self._base_config()
+        config = base
+        if self._job_timeout is not None:
+            max_seconds = (
+                self._job_timeout if config.max_seconds is None
+                else min(config.max_seconds, self._job_timeout)
+            )
+            config = dataclasses.replace(config, max_seconds=max_seconds)
+        if config.engine != self._engine:
+            config = dataclasses.replace(config, engine=self._engine)
+        if config is job.config:
             return job
-        config = job.config or self._base_config()
-        max_seconds = (
-            self._job_timeout if config.max_seconds is None
-            else min(config.max_seconds, self._job_timeout)
-        )
-        return dataclasses.replace(
-            job, config=dataclasses.replace(config, max_seconds=max_seconds)
-        )
+        if (config is base and job.config is None
+                and self._engine == DEFAULT_ENGINE):
+            return job
+        return dataclasses.replace(job, config=config)
 
     def _run_one(self, job_id: str) -> None:
         with self._lock:

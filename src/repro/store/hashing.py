@@ -183,13 +183,24 @@ def effective_config(job, settings):
     )
 
 
+#: ``OptimizerConfig`` fields that choose *how* a job executes, never
+#: *what* it computes — exactly like the service's executor tier, they
+#: are stripped from the effective config before hashing so results
+#: cache across engines (a SQL-engine run answers a naive-engine
+#: resubmission, and vice versa).  The equivalence tests and the
+#: scenario smoke's cross-engine baseline diff enforce the bit-identity
+#: this stripping assumes.
+EXECUTION_ONLY_CONFIG_FIELDS = ("engine",)
+
+
 def job_content_hash(job, settings) -> str:
     """The canonical content hash addressing one job's result.
 
     ``job`` is a :class:`~repro.batch.jobs.BatchJob` or
     :class:`~repro.batch.jobs.InlineJob`; ``settings`` the
     :class:`~repro.experiments.settings.ExperimentSettings` the run
-    executes under.  ``tag`` is a display label and never participates.
+    executes under.  ``tag`` is a display label and never participates;
+    neither do the :data:`EXECUTION_ONLY_CONFIG_FIELDS`.
     """
     mode = getattr(job, "mode", "primal")
     if mode not in KNOWN_MODES:
@@ -210,11 +221,14 @@ def job_content_hash(job, settings) -> str:
             "height": job.height,
             "settings": context_settings(settings),
         }
+    config_part = jsonable(effective_config(job, settings))
+    for field_name in EXECUTION_ONLY_CONFIG_FIELDS:
+        config_part.pop(field_name, None)
     return hash_text(canonical_json({
         "version": HASH_VERSION,
         "mode": mode,
         "threshold": job.threshold,
-        "config": jsonable(effective_config(job, settings)),
+        "config": config_part,
         "context": context_part,
     }))
 

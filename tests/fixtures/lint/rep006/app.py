@@ -1,0 +1,23 @@
+"""Fixture: raw relation reads outside the engine layer (REP006)."""
+
+
+def action_movies(db, movies):
+    return [
+        mid for mid in movies
+        if any(t.values[1] == "Action" for t in db.relation("genre").matching({0: mid}))
+    ]
+
+
+def annotations(db):
+    return [t.annotation for t in db.relation("lineitem")]
+
+
+def years(db):
+    out = {}
+    for tup in db.relation("movie"):
+        out[tup.values[0]] = int(tup.values[2])
+    return out
+
+
+def snapshot(db, name):
+    return list(db.relation(name))

@@ -1,0 +1,19 @@
+"""Fixture: sanctioned relation access (no REP006 findings)."""
+
+
+def annotations(db):
+    return [t.annotation for t in db.scan("lineitem")]
+
+
+def genre_rows(db, mid):
+    return list(db.scan("genre", {0: mid}))
+
+
+def cardinality(db, name):
+    # len() is metadata, not a scan.
+    return len(db.relation(name))
+
+
+def attribute_names(database, relation):
+    # schema.relation() returns arity metadata, not tuples.
+    return database.schema.relation(relation).attributes

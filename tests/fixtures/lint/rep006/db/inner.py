@@ -1,0 +1,5 @@
+"""Fixture: db-layer module — owns the raw relation surface (exempt)."""
+
+
+def scan(self, relation, bindings=None):
+    return self.relation(relation).matching(bindings or {})

@@ -1,0 +1,5 @@
+"""Fixture: engine-layer module — owns the raw relation surface (exempt)."""
+
+
+def derivations(db, name, fixed):
+    return list(db.relation(name).matching(fixed))

@@ -1,0 +1,6 @@
+"""Fixture: a deliberate raw read, suppressed with a reason."""
+
+
+def debug_dump(db):
+    # One-off diagnostic dump that must not depend on the engine layer.
+    return list(db.relation("lineitem"))  # repro: allow[REP006]

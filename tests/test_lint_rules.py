@@ -190,6 +190,33 @@ class TestSeedPlumbingRule:
         )
 
 
+class TestEngineDisciplineRule:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_paths([FIXTURES / "rep006"])
+
+    def test_matching_and_relation_iteration_fire(self, report):
+        bad = findings_in(report, "app.py")
+        assert [f.rule for f in bad] == ["REP006"] * 4
+        assert sorted(f.line for f in bad) == [7, 12, 17, 23]
+        messages = " | ".join(f.message for f in bad)
+        assert ".matching()" in messages
+        assert "KDatabase.scan" in messages
+
+    def test_scan_len_and_schema_access_are_clean(self, report):
+        assert findings_in(report, "clean.py") == []
+
+    def test_engine_and_db_layer_modules_are_exempt(self, report):
+        assert findings_in(report, "engine/inner.py") == []
+        assert findings_in(report, "db/inner.py") == []
+
+    def test_suppressed_raw_read_is_silenced(self, report):
+        assert findings_in(report, "suppressed.py") == []
+        assert not any(
+            f.rule == UNUSED_SUPPRESSION_RULE for f in report.findings
+        )
+
+
 class TestUnusedSuppressions:
     def test_unused_allow_is_reported_and_used_allow_is_not(self):
         report = analyze_paths([FIXTURES / "suppress"])

@@ -26,7 +26,7 @@ def test_self_lint_covers_the_whole_package():
     report = analyze_paths([PACKAGE])
     assert report.files_checked >= 80
     assert report.rules_run == [
-        "REP001", "REP002", "REP003", "REP004", "REP005",
+        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
     ]
 
 
