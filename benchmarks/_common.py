@@ -10,6 +10,8 @@ in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import time
+
 from repro.experiments.report import format_series
 from repro.experiments.settings import ExperimentSettings
 
@@ -29,6 +31,13 @@ BENCH_SETTINGS = ExperimentSettings(
 )
 
 BENCH_QUERIES = ("TPCH-Q3", "TPCH-Q10", "IMDB-Q1")
+
+#: The benchmark suite's timing surface.  Benchmarks measure the repro
+#: library from outside, so they use the raw clock rather than
+#: ``repro.obs.clock`` (what the overhead benchmark is *measuring*);
+#: REP007 exempts this module by name and the suite imports from here.
+perf_counter = time.perf_counter
+monotonic = time.monotonic
 
 
 def record_series(benchmark, title: str, series, x_label: str, y_label: str) -> None:

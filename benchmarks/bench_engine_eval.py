@@ -15,10 +15,9 @@ reported in ``extra_info`` instead, mirroring how the engines are used
 — a database is loaded once and queried for every derivation after.
 """
 
-import time
-
 import pytest
 
+from _common import perf_counter
 from repro.datasets.queries import get_query
 from repro.datasets.tpch import generate_tpch
 from repro.engine import NaiveEngine, SqlEngine
@@ -40,9 +39,9 @@ TIMING_ROUNDS = 3
 def _best_of(rounds, run):
     best = float("inf")
     for _ in range(rounds):
-        start = time.perf_counter()
+        start = perf_counter()
         run()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, perf_counter() - start)
     return best
 
 
@@ -55,9 +54,9 @@ def test_sql_engine_speedup(benchmark, query_name):
     # Bit-identity first (also the untimed SQLite load + warmup):
     # identical rows in identical order with identical polynomials, and
     # an identical derivation stream underneath.
-    load_start = time.perf_counter()
+    load_start = perf_counter()
     sql_results = sql.evaluate(query, database)
-    load_and_first_eval = time.perf_counter() - load_start
+    load_and_first_eval = perf_counter() - load_start
     naive_results = naive.evaluate(query, database)
     assert list(naive_results.items()) == list(sql_results.items())
     for a, b in zip(

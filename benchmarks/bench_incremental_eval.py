@@ -14,11 +14,9 @@ sweep:
   candidates pass the LOI gate; the recorded split shows both.
 """
 
-import time
-
 import pytest
 
-from _common import BENCH_QUERIES, BENCH_SETTINGS
+from _common import BENCH_QUERIES, BENCH_SETTINGS, perf_counter
 from repro.core.loi import UniformDistribution, loss_of_information
 from repro.core.optimizer import (
     IncrementalEvaluator,
@@ -61,9 +59,9 @@ def _sorted_candidates(example, tree, variables, chains, limit):
 def _best_of(rounds, run):
     best = float("inf")
     for _ in range(rounds):
-        start = time.perf_counter()
+        start = perf_counter()
         run()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, perf_counter() - start)
     return best
 
 
@@ -129,12 +127,12 @@ def test_end_to_end_bit_identical(benchmark, query_name):
         )
 
     incremental = benchmark.pedantic(run_incremental, rounds=1, iterations=1)
-    start = time.perf_counter()
+    start = perf_counter()
     full = find_optimal_abstraction(
         context.example, context.tree, threshold,
         config=OptimizerConfig(incremental=False, **budget),
     )
-    full_seconds = time.perf_counter() - start
+    full_seconds = perf_counter() - start
 
     assert (incremental.loi, incremental.privacy, incremental.edges_used) == (
         full.loi, full.privacy, full.edges_used

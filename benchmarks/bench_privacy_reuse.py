@@ -18,11 +18,9 @@ Two measurements per workload of the Fig 9-style sweep:
   may only change speed, never results).
 """
 
-import time
-
 import pytest
 
-from _common import BENCH_SETTINGS
+from _common import BENCH_SETTINGS, perf_counter
 from repro.core.loi import UniformDistribution
 from repro.core.optimizer import (
     IncrementalEvaluator,
@@ -77,12 +75,12 @@ def _sweep_computations(context, candidates, shared):
     tree, registry = context.tree, context.example.registry
     session = PrivacySession(tree, registry) if shared else None
     values = []
-    start = time.perf_counter()
+    start = perf_counter()
     for threshold in THRESHOLDS:
         computer = PrivacyComputer(tree, registry, session=session)
         for abstracted in candidates:
             values.append(computer.compute(abstracted, threshold))
-    return values, time.perf_counter() - start
+    return values, perf_counter() - start
 
 
 def _best_of(rounds, run):

@@ -16,9 +16,7 @@ Two assertions:
   speed, never results).
 """
 
-import time
-
-from _common import BENCH_SETTINGS
+from _common import BENCH_SETTINGS, perf_counter
 from repro.batch import job_from_spec, run_job
 from repro.examples_data import running_example_db, running_example_tree
 from repro.io.json_io import database_to_json, tree_to_json
@@ -50,9 +48,9 @@ def _jobs():
 
 
 def _run_all(jobs, store_path=None):
-    start = time.perf_counter()
+    start = perf_counter()
     results = [run_job(job, BENCH_SETTINGS, store_path) for job in jobs]
-    return results, time.perf_counter() - start
+    return results, perf_counter() - start
 
 
 def _payload(result):

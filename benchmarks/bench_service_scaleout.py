@@ -25,9 +25,8 @@ effort counters.
 """
 
 import os
-import time
 
-from _common import BENCH_SETTINGS
+from _common import BENCH_SETTINGS, monotonic, perf_counter
 from repro.batch import BatchJob
 from repro.core.optimizer import OptimizerConfig
 from repro.service import JobService
@@ -65,16 +64,16 @@ def _run_stream(executor: str, workers: int):
         executor=executor,
     ).start()
     try:
-        start = time.perf_counter()
+        start = perf_counter()
         ids = [service.submit(job) for job in _jobs()]
-        deadline = time.monotonic() + 600
+        deadline = monotonic() + 600
         while True:
             states = [service.status_payload(i)["state"] for i in ids]
             if all(s not in ("queued", "running") for s in states):
                 break
-            assert time.monotonic() < deadline, f"jobs stuck: {states}"
+            assert monotonic() < deadline, f"jobs stuck: {states}"
             time.sleep(0.05)
-        wall = time.perf_counter() - start
+        wall = perf_counter() - start
         return [service.result_payload(i)[1] for i in ids], wall
     finally:
         service.shutdown()

@@ -10,6 +10,7 @@ REP003    lock-discipline     no I/O while holding service/store locks
 REP004    exception-hygiene   no bare/silent ``except``
 REP005    seed-plumbing       ``seed=`` defaults to ``DEFAULT_SEED``
 REP006    engine-discipline   relation reads go through ``KDatabase.scan``
+REP007    obs-discipline      monotonic timing goes through ``repro.obs.clock``
 ========  ==================  ===========================================
 """
 
@@ -18,6 +19,7 @@ from repro.analysis.rules import (  # noqa: F401  (import-for-effect)
     engine_discipline,
     exception_hygiene,
     lock_discipline,
+    obs_discipline,
     payload_parity,
     seed_plumbing,
 )

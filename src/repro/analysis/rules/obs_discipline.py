@@ -1,0 +1,82 @@
+"""REP007 — monotonic timing goes through ``repro.obs.clock``.
+
+PR 9 added the tracing/metrics layer (:mod:`repro.obs`): every span,
+histogram, and volatile ``seconds`` field reads the same sanctioned
+clock surface, so "where does timing come from" has exactly one answer
+and the no-op fast path stays benchmark-guarded in one place.  A direct
+``time.perf_counter()`` in library code silently forks that surface —
+it works, but it is invisible to the obs layer's guarantees (and to
+anyone auditing them).
+
+Flagged in any module outside an ``obs`` package: calls resolving to
+``time.perf_counter`` / ``time.perf_counter_ns`` / ``time.monotonic``
+/ ``time.monotonic_ns`` (plain, aliased, or ``from time import ...``).
+The sanctioned replacement is ``from repro.obs import clock`` — its
+names are direct aliases of the :mod:`time` functions, so the swap is
+free.
+
+Not flagged: modules named ``_common`` (the benchmark harness helper is
+the out-of-package timing surface for standalone benchmark scripts,
+which cannot always import ``repro``), and wall-clock ``time.time()``
+(REP001's business — wall clock is an operational-timestamp question,
+not a timing-surface one).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project, resolve_call_chain
+from repro.analysis.registry import rule
+
+#: Packages that own the raw monotonic-clock surface (any path segment).
+_EXEMPT_PACKAGES = ("obs",)
+
+#: Standalone modules exempted by name: the benchmark harness helper
+#: re-exports the clock for scripts that run without ``repro`` on the
+#: path.
+_EXEMPT_MODULES = ("_common",)
+
+_BANNED = frozenset({
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+})
+
+
+@rule(
+    "REP007",
+    name="obs-discipline",
+    summary=(
+        "monotonic timing outside repro.obs goes through repro.obs.clock, "
+        "never time.perf_counter()/time.monotonic() directly"
+    ),
+)
+def check_obs_discipline(
+    module: ModuleInfo, project: Project
+) -> Iterator[Finding]:
+    parts = {p.lower() for p in module.path.parts} | set(
+        module.name.split(".")
+    )
+    if parts.intersection(_EXEMPT_PACKAGES):
+        return
+    if module.name.rpartition(".")[2] in _EXEMPT_MODULES:
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = resolve_call_chain(module, node.func)
+        if chain in _BANNED:
+            yield Finding(
+                rule="REP007",
+                path=module.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{chain}() bypasses the sanctioned timing surface; "
+                    f"use repro.obs.clock.{chain.partition('.')[2]}()"
+                ),
+            )

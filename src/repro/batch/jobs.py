@@ -392,6 +392,11 @@ class BatchJobResult:
     # Whether this result was served from the content-addressed result
     # cache (repro.store) instead of running the optimizer.
     cache_hit: bool = False
+    # Span records from repro.obs.spans when the job ran with
+    # ``config.trace`` on; ``None`` otherwise.  Volatile observability
+    # data: excluded from result hashes and payload-equivalence checks,
+    # but carried losslessly across the pool/store/HTTP round trips.
+    trace: Optional[list] = None
     error: Optional[str] = None
 
     @property
@@ -443,6 +448,7 @@ class BatchJobResult:
             "session_reused": self.session_reused,
             "cache_hit": self.cache_hit,
             "stats": dataclasses.asdict(self.stats),
+            "trace": self.trace,
             "error": self.error,
         }
 
@@ -477,5 +483,6 @@ class BatchJobResult:
             variable_targets=dict(payload.get("variable_targets") or {}),
             session_reused=bool(payload.get("session_reused", False)),
             cache_hit=bool(payload.get("cache_hit", False)),
+            trace=payload.get("trace"),
             error=payload.get("error"),
         )

@@ -27,7 +27,6 @@ from __future__ import annotations
 import dataclasses
 import os
 import threading
-import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -45,6 +44,7 @@ from repro.core.optimizer import OptimizerConfig, find_optimal_abstraction
 from repro.core.privacy import PrivacyConfig, PrivacySession
 from repro.errors import ReproError
 from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+from repro.obs import clock, spans
 
 
 @dataclass
@@ -241,53 +241,69 @@ def run_job(
             cache = _cached_result_cache(store_path)
         except ReproError:
             cache = None
-    if cache is not None:
-        hit = cache.lookup(job, settings)
-        if hit is not None:
-            return hit
-    try:
-        config = job.config or OptimizerConfig(
-            max_candidates=settings.max_candidates,
-            max_seconds=settings.max_seconds,
-        )
-        with _cache_lock:
-            inline = getattr(job, "context", None)
-            if inline is not None:
-                _register_inline(inline)
-            context = _cached_context(
-                job.context_key(), settings, config.engine
-            )
-            session = _session_for(
-                job.context_key(), config.privacy, settings, config.engine
-            )
-            session_reused = session.computers_attached > 0
-        start = time.perf_counter()
-        result = find_optimal_abstraction(
-            context.example, context.tree, job.threshold, config=config,
-            session=session,
-        )
-        seconds = time.perf_counter() - start
-        targets: dict[str, str] = {}
-        if result.function is not None:
-            for (row_idx, occ_idx), target in result.function.assignment.items():
-                source = context.example.rows[row_idx].occurrences[occ_idx]
-                targets[source] = target
-        outcome = BatchJobResult(
-            job=job,
-            found=result.found,
-            loi=result.loi,
-            privacy=result.privacy,
-            edges_used=result.edges_used,
-            seconds=seconds,
-            stats=result.stats,
-            variable_targets=targets,
-            session_reused=session_reused,
-        )
+    config = job.config or OptimizerConfig(
+        max_candidates=settings.max_candidates,
+        max_seconds=settings.max_seconds,
+    )
+    # The tracer activates before the cache consult, so even a cache hit
+    # records its lookup span; ``config.trace`` is an execution detail
+    # (stripped from content hashes), so traced and untraced jobs share
+    # cache entries — the stored payload never carries a trace.
+    tracer = spans.Tracer() if config.trace else None
+    with spans.activate(tracer):
         if cache is not None:
-            cache.store_result(job, settings, outcome)
-        return outcome
-    except Exception as exc:  # noqa: BLE001 - report, don't kill the pool
-        return BatchJobResult.from_error(job, exc)
+            hit = cache.lookup(job, settings)
+            if hit is not None:
+                if tracer is not None:
+                    hit.trace = tracer.to_payload()
+                return hit
+        try:
+            with _cache_lock:
+                inline = getattr(job, "context", None)
+                if inline is not None:
+                    _register_inline(inline)
+                with spans.span("context_build", engine=config.engine):
+                    context = _cached_context(
+                        job.context_key(), settings, config.engine
+                    )
+                with spans.span("session_build"):
+                    session = _session_for(
+                        job.context_key(), config.privacy, settings,
+                        config.engine,
+                    )
+                session_reused = session.computers_attached > 0
+            start = clock.perf_counter()
+            with spans.span("search", threshold=job.threshold):
+                result = find_optimal_abstraction(
+                    context.example, context.tree, job.threshold,
+                    config=config, session=session,
+                )
+            seconds = clock.perf_counter() - start
+            targets: dict[str, str] = {}
+            if result.function is not None:
+                for (row_idx, occ_idx), target in result.function.assignment.items():
+                    source = context.example.rows[row_idx].occurrences[occ_idx]
+                    targets[source] = target
+            outcome = BatchJobResult(
+                job=job,
+                found=result.found,
+                loi=result.loi,
+                privacy=result.privacy,
+                edges_used=result.edges_used,
+                seconds=seconds,
+                stats=result.stats,
+                variable_targets=targets,
+                session_reused=session_reused,
+                trace=tracer.to_payload() if tracer is not None else None,
+            )
+            if cache is not None:
+                cache.store_result(job, settings, outcome)
+            return outcome
+        except Exception as exc:  # noqa: BLE001 - report, don't kill the pool
+            failed = BatchJobResult.from_error(job, exc)
+            if tracer is not None:
+                failed.trace = tracer.to_payload()
+            return failed
 
 
 def run_job_payload(
@@ -353,7 +369,7 @@ class BatchOptimizer:
         """Execute ``jobs`` and aggregate their stats; results in job order."""
         jobs = list(jobs)
         workers = min(self._max_workers, max(1, len(jobs)))
-        start = time.perf_counter()
+        start = clock.perf_counter()
         if workers == 1:
             results = [
                 run_job(job, self._settings, self._store_path) for job in jobs
@@ -365,7 +381,7 @@ class BatchOptimizer:
                     for job in jobs
                 ]
                 results = [future.result() for future in futures]
-        wall = time.perf_counter() - start
+        wall = clock.perf_counter() - start
 
         stats = BatchStats(jobs_total=len(jobs), workers=workers, wall_seconds=wall)
         for result in results:

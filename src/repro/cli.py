@@ -23,6 +23,9 @@ Subcommands
                     ``BENCH_scenarios.json`` snapshots (``repro.scenarios``)
 ``lint``            run the invariant-enforcing static-analysis suite
                     (``repro.analysis``); exit 1 on findings, 0 when clean
+``trace``           inspect ``repro-trace-v1`` JSONL files written by
+                    ``--trace-file`` (``show`` / ``summary``,
+                    see ``repro.obs``)
 ``engines``         list the relational evaluation engines (``repro.engine``)
                     with availability markers
 ``privacy``         compute the privacy of a K-example / abstraction (Algorithm 1)
@@ -130,16 +133,55 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _tracing_requested(args) -> bool:
+    """``--trace-file PATH`` implies ``--trace``."""
+    return bool(getattr(args, "trace", False) or
+                getattr(args, "trace_file", None))
+
+
+def _emit_trace(args, payload, *, label, query=None, threshold=None,
+                tag=None, seconds=None) -> None:
+    """One traced job's spans to ``--trace-file`` (JSONL) or stdout."""
+    from repro.obs.trace import TraceWriter, format_record, trace_record
+
+    record = trace_record(
+        payload, label=label, query=query, threshold=threshold,
+        tag=tag, seconds=seconds,
+    )
+    if args.trace_file:
+        with TraceWriter(args.trace_file) as writer:
+            writer.write(record)
+    else:
+        print(format_record(record))
+
+
 def cmd_optimize(args) -> int:
+    from repro.obs import clock, spans
+
     database = _load_database(args.database)
     tree = _load_tree(args.tree)
     example = _build_example(args, database)
     config = OptimizerConfig(
         max_candidates=args.max_candidates, max_seconds=args.max_seconds,
-        engine=args.engine,
+        engine=args.engine, trace=_tracing_requested(args),
     )
-    result = find_optimal_abstraction(example, tree, args.threshold, config=config)
+    tracer = spans.Tracer() if config.trace else None
+    start = clock.perf_counter()
+    with spans.activate(tracer):
+        with spans.span("search", threshold=args.threshold):
+            result = find_optimal_abstraction(
+                example, tree, args.threshold, config=config
+            )
+    seconds = clock.perf_counter() - start
     print(render_result(result))
+    if tracer is not None:
+        _emit_trace(
+            args, tracer.to_payload(),
+            label=f"optimize@{args.threshold}",
+            threshold=args.threshold, seconds=seconds,
+        )
+        if args.trace_file:
+            print(f"(trace appended to {args.trace_file})")
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(dumps(result_to_json(result)))
@@ -227,11 +269,13 @@ def cmd_batch_optimize(args) -> int:
 
     settings = _settings_for(args)
     # Matches run_job's config fallback exactly (budgets from settings),
-    # so stamping it is content-hash-neutral; it only carries --engine.
+    # so stamping it is content-hash-neutral; it only carries --engine
+    # and --trace (both hash-stripped execution details).
     base_config = OptimizerConfig(
         max_candidates=settings.max_candidates,
         max_seconds=settings.max_seconds,
         engine=args.engine,
+        trace=_tracing_requested(args),
     )
     if args.jobs:
         jobs = []
@@ -266,12 +310,42 @@ def cmd_batch_optimize(args) -> int:
         _print_result_line(result)
     print(batch.stats.summary())
 
+    if _tracing_requested(args):
+        _emit_batch_traces(args, batch.results)
+
     if args.output:
         payload = [r.to_payload() for r in batch.results]
         with open(args.output, "w") as handle:
             handle.write(dumps(payload))
         print(f"(written to {args.output})")
     return 0 if batch.stats.jobs_failed == 0 else 1
+
+
+def _emit_batch_traces(args, results) -> None:
+    """Traced batch results to ``--trace-file`` (one JSONL line per job)
+    or a per-phase summary table on stdout."""
+    from repro.obs.trace import (
+        TraceWriter, format_summary, summarize, trace_record,
+    )
+
+    records = [
+        trace_record(
+            r.trace,
+            label=r.job.tag or f"{r.job.query_name}@{r.job.threshold}",
+            query=r.job.query_name, threshold=r.job.threshold,
+            tag=r.job.tag or None, seconds=r.seconds,
+        )
+        for r in results if r.trace
+    ]
+    if not records:
+        return
+    if args.trace_file:
+        with TraceWriter(args.trace_file) as writer:
+            for record in records:
+                writer.write(record)
+        print(f"({len(records)} traces appended to {args.trace_file})")
+    else:
+        print(format_summary(summarize(records)))
 
 
 def cmd_serve(args) -> int:
@@ -287,15 +361,20 @@ def cmd_serve(args) -> int:
         store=store,
         executor=args.executor,
         engine=args.engine,
+        trace=_tracing_requested(args),
+        trace_path=args.trace_file,
     ).start()
     server = make_server(service, args.host, args.port, quiet=args.quiet)
     host, port = server.server_address[:2]
+    traced = ", tracing on" if _tracing_requested(args) else ""
     print(
         f"repro job service on http://{host}:{port} "
         f"({args.workers} {args.executor} worker"
         f"{'s' if args.workers != 1 else ''}, queue {args.queue_size}, "
-        f"{args.engine} engine)"
+        f"{args.engine} engine{traced})"
     )
+    if args.trace_file:
+        print(f"streaming job traces to {args.trace_file}")
     if store is not None:
         stats = service.stats_payload()
         print(
@@ -494,6 +573,8 @@ def cmd_scenarios_run(args) -> int:
         workers=args.workers,
         store_path=args.store,
         engine=args.engine,
+        trace=_tracing_requested(args),
+        trace_path=args.trace_file,
     )
     for cell in snapshot["cells"]:
         marker = " (cached)" if cell["cache_hit"] else ""
@@ -650,11 +731,43 @@ def cmd_show_tree(args) -> int:
     return 0
 
 
+def cmd_trace_show(args) -> int:
+    from repro.obs.trace import format_record, read_trace
+
+    records = read_trace(args.file)
+    shown = records if args.limit is None else records[:args.limit]
+    for index, record in enumerate(shown):
+        if index:
+            print()
+        print(format_record(record))
+    if len(shown) < len(records):
+        print(f"\n({len(records) - len(shown)} more record"
+              f"{'s' if len(records) - len(shown) != 1 else ''}; "
+              f"raise --limit to see them)")
+    return 0
+
+
+def cmd_trace_summary(args) -> int:
+    from repro.obs.trace import format_summary, read_trace, summarize
+
+    print(format_summary(summarize(read_trace(args.file))))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="provenance abstraction for query privacy"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_trace_flags(sp) -> None:
+        sp.add_argument("--trace", action="store_true",
+                        help="record per-phase spans for each job "
+                             "(bit-neutral: result hashes are unchanged)")
+        sp.add_argument("--trace-file", default=None,
+                        help="append repro-trace-v1 JSONL records here "
+                             "(implies --trace); read back with "
+                             "'repro trace summary'")
 
     p_opt = sub.add_parser("optimize", help="find the optimal abstraction")
     _add_common(p_opt)
@@ -662,6 +775,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--max-candidates", type=int, default=None)
     p_opt.add_argument("--max-seconds", type=float, default=None)
     p_opt.add_argument("--output", help="write the result JSON here")
+    _add_trace_flags(p_opt)
     p_opt.set_defaults(func=cmd_optimize)
 
     p_batch = sub.add_parser(
@@ -697,6 +811,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "are served from it instead of re-searching, "
                               "across runs (see repro.store)")
     _add_engine_flag(p_batch)
+    _add_trace_flags(p_batch)
     p_batch.set_defaults(func=cmd_batch_optimize)
 
     p_serve = sub.add_parser(
@@ -737,6 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "persist across restarts, and identical jobs "
                               "are answered from the result cache")
     _add_engine_flag(p_serve)
+    _add_trace_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -848,6 +964,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_srun.add_argument("--output", default="BENCH_scenarios.json",
                         help="snapshot file to write")
     _add_engine_flag(p_srun)
+    _add_trace_flags(p_srun)
     p_srun.set_defaults(func=cmd_scenarios_run)
 
     p_slist = scen_sub.add_parser(
@@ -911,6 +1028,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the relational evaluation engines with availability",
     )
     p_eng.set_defaults(func=cmd_engines)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect repro-trace-v1 JSONL files written by --trace-file",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tshow = trace_sub.add_parser(
+        "show", help="print each traced job as an indented span tree",
+    )
+    p_tshow.add_argument("file", help="repro-trace-v1 JSONL file")
+    p_tshow.add_argument("--limit", type=_positive_int, default=None,
+                         help="show at most this many records")
+    p_tshow.set_defaults(func=cmd_trace_show)
+    p_tsum = trace_sub.add_parser(
+        "summary", help="fold every record into a per-phase totals table",
+    )
+    p_tsum.add_argument("file", help="repro-trace-v1 JSONL file")
+    p_tsum.set_defaults(func=cmd_trace_summary)
 
     p_tree = sub.add_parser("show-tree", help="pretty-print a tree JSON file")
     p_tree.add_argument("--tree", required=True)

@@ -22,7 +22,6 @@ measures (roughly 2-3x the LOI of the optimal abstraction).
 from __future__ import annotations
 
 import math
-import time
 from typing import Optional
 
 from repro.abstraction.function import AbstractionFunction
@@ -31,6 +30,7 @@ from repro.core.loi import UniformDistribution, loss_of_information
 from repro.core.optimizer import OptimizerStats, OptimalAbstractionResult
 from repro.core.privacy import PrivacyComputer, PrivacyConfig
 from repro.errors import OptimizationError
+from repro.obs import clock
 from repro.provenance.kexample import KExample
 
 
@@ -109,7 +109,7 @@ def compression_baseline(
     dist = distribution or UniformDistribution()
     computer = PrivacyComputer(tree, example.registry, privacy_config)
     stats = OptimizerStats()
-    start_time = time.perf_counter()
+    start_time = clock.perf_counter()
 
     n_vars = len(example.variables())
     for target_size in range(n_vars, 0, -1):
@@ -125,7 +125,7 @@ def compression_baseline(
             stats.privacy_budget_exhausted += 1
             continue
         if privacy >= threshold:
-            stats.elapsed_seconds = time.perf_counter() - start_time
+            stats.elapsed_seconds = clock.perf_counter() - start_time
             return OptimalAbstractionResult(
                 function=function,
                 abstracted=abstracted,
@@ -135,7 +135,7 @@ def compression_baseline(
                 stats=stats,
             )
 
-    stats.elapsed_seconds = time.perf_counter() - start_time
+    stats.elapsed_seconds = clock.perf_counter() - start_time
     return OptimalAbstractionResult(
         function=None,
         abstracted=None,

@@ -20,7 +20,6 @@ bit-identical to the from-scratch path.
 from __future__ import annotations
 
 import math
-import time
 from typing import Optional
 
 from repro.abstraction.function import AbstractionFunction
@@ -38,6 +37,7 @@ from repro.core.optimizer import (
 )
 from repro.core.privacy import PrivacyComputer, PrivacySession
 from repro.errors import OptimizationError
+from repro.obs import clock
 from repro.provenance.kexample import AbstractedKExample, KExample
 
 
@@ -66,7 +66,7 @@ def find_dual_optimal_abstraction(
     occurrence_count = _occurrence_counts(example, variables)
 
     stats = OptimizerStats()
-    start_time = time.perf_counter()
+    start_time = clock.perf_counter()
 
     best: Optional[AbstractionFunction] = None
     best_abstracted: Optional[AbstractedKExample] = None
@@ -92,7 +92,7 @@ def find_dual_optimal_abstraction(
             break
         if (
             config.max_seconds is not None
-            and time.perf_counter() - start_time > config.max_seconds
+            and clock.perf_counter() - start_time > config.max_seconds
         ):
             stats.stopped_by_wall_clock = True
             break
@@ -135,7 +135,7 @@ def find_dual_optimal_abstraction(
             best_privacy, best_loi = privacy, loi
         frontier.expand(levels)
 
-    stats.elapsed_seconds = time.perf_counter() - start_time
+    stats.elapsed_seconds = clock.perf_counter() - start_time
     if evaluator is not None:
         stats.contribution_cache_hits = evaluator.cache_hits
         stats.contribution_cache_misses = evaluator.cache_misses

@@ -33,7 +33,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
@@ -42,6 +41,7 @@ from repro.abstraction.tree import AbstractionTree
 from repro.core.loi import UniformDistribution, loss_of_information
 from repro.core.privacy import PrivacyComputer, PrivacyConfig, PrivacySession
 from repro.errors import OptimizationError
+from repro.obs import clock, spans
 from repro.provenance.kexample import AbstractedKExample, KExample, KExampleRow
 
 
@@ -67,6 +67,11 @@ class OptimizerConfig:
     # results, and store/hashing.py strips this field from job content
     # hashes so results cache across engines.
     engine: str = "naive"
+    # Record a per-job span trace (repro.obs.spans) into the result.
+    # Pure observability: an execution detail like ``engine``, stripped
+    # from content hashes, and bit-neutral by construction — enabling it
+    # changes no result fields, only attaches the VOLATILE trace.
+    trace: bool = False
     privacy: PrivacyConfig = field(default_factory=PrivacyConfig)
 
 
@@ -329,7 +334,14 @@ def find_optimal_abstraction(
     occurrence_count = _occurrence_counts(example, variables)
 
     stats = OptimizerStats()
-    start_time = time.perf_counter()
+    start_time = clock.perf_counter()
+    # Aggregated spans for the per-candidate loop: hoisted once so the
+    # disabled-mode cost is two no-op method calls per use, and a traced
+    # run records one accumulated record per phase instead of one span
+    # per candidate.
+    scoring_timer = spans.aggregate("candidate_scoring")
+    privacy_timer = spans.aggregate("privacy_check")
+    materialize_timer = spans.aggregate("materialize")
 
     best: Optional[AbstractionFunction] = None
     best_abstracted: Optional[AbstractedKExample] = None
@@ -368,7 +380,7 @@ def find_optimal_abstraction(
             break
         if (
             config.max_seconds is not None
-            and time.perf_counter() - start_time > config.max_seconds
+            and clock.perf_counter() - start_time > config.max_seconds
         ):
             stats.stopped_by_wall_clock = True
             break
@@ -376,17 +388,20 @@ def find_optimal_abstraction(
 
         function: Optional[AbstractionFunction]
         abstracted: Optional[AbstractedKExample]
-        if evaluator is not None:
-            # Incremental path: score from cached contributions; the
-            # function/abstracted pair is materialized only if needed.
-            loi = evaluator.loi(levels)
-            function = abstracted = None
-            stats.delta_evaluations += 1
-        else:
-            function = _function_for_levels(tree, example, variables, chains, levels)
-            abstracted = function.apply(example)
-            loi = loss_of_information(abstracted, tree, dist)
-            stats.full_evaluations += 1
+        with scoring_timer:
+            if evaluator is not None:
+                # Incremental path: score from cached contributions; the
+                # function/abstracted pair is materialized only if needed.
+                loi = evaluator.loi(levels)
+                function = abstracted = None
+                stats.delta_evaluations += 1
+            else:
+                function = _function_for_levels(
+                    tree, example, variables, chains, levels
+                )
+                abstracted = function.apply(example)
+                loi = loss_of_information(abstracted, tree, dist)
+                stats.full_evaluations += 1
 
         dominated = loi >= best_loi
         if config.loi_first and dominated:
@@ -398,10 +413,12 @@ def find_optimal_abstraction(
             stats.privacy_computations += 1
             if function is None:
                 assert evaluator is not None
-                function, abstracted = evaluator.materialize(levels)
+                with materialize_timer:
+                    function, abstracted = evaluator.materialize(levels)
                 stats.functions_materialized += 1
             try:
-                privacy = computer.compute(abstracted, threshold)
+                with privacy_timer:
+                    privacy = computer.compute(abstracted, threshold)
             except OptimizationError:
                 # Concretization budget exhausted: the abstraction is too
                 # coarse to evaluate; skip it (its refinements are coarser
@@ -416,17 +433,19 @@ def find_optimal_abstraction(
             stats.privacy_computations += 1
             if abstracted is None:
                 assert evaluator is not None
-                _, abstracted = evaluator.materialize(levels)
+                with materialize_timer:
+                    _, abstracted = evaluator.materialize(levels)
                 stats.functions_materialized += 1
             try:
-                computer.compute(abstracted, threshold)
+                with privacy_timer:
+                    computer.compute(abstracted, threshold)
             except OptimizationError:
                 stats.privacy_budget_exhausted += 1
 
         if frontier is not None:
             frontier.expand(levels)
 
-    stats.elapsed_seconds = time.perf_counter() - start_time
+    stats.elapsed_seconds = clock.perf_counter() - start_time
     if evaluator is not None:
         stats.contribution_cache_hits = evaluator.cache_hits
         stats.contribution_cache_misses = evaluator.cache_misses

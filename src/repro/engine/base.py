@@ -23,10 +23,18 @@ from typing import Any
 from repro.db.database import KDatabase
 from repro.db.tuples import Tuple
 from repro.errors import EvaluationError
+from repro.obs import clock, metrics, spans
 from repro.query.ast import CQ, UCQ, Atom, Constant, Variable
 from repro.semirings.polynomial import Monomial, Polynomial
 
 OutputRow = tuple  # the values of the head after substitution
+
+#: Process-local per-engine evaluation latency (see docs/OBSERVABILITY.md).
+_EVALUATE_SECONDS = metrics.REGISTRY.histogram(
+    "repro_engine_evaluate_seconds",
+    "Wall time of EvaluationEngine.evaluate calls, by engine.",
+    labelnames=("engine",),
+)
 
 
 class Derivation:
@@ -169,10 +177,22 @@ class EvaluationEngine(abc.ABC):
     def evaluate(
         self, query: "CQ | UCQ", database: KDatabase
     ) -> dict[OutputRow, Polynomial]:
-        """Evaluate a CQ or UCQ with provenance tracking."""
-        if isinstance(query, UCQ):
-            return self.evaluate_ucq(query, database)
-        return self.evaluate_cq(query, database)
+        """Evaluate a CQ or UCQ with provenance tracking.
+
+        Per-engine timing: every call lands in the process-local
+        ``repro_engine_evaluate_seconds{engine=...}`` histogram, and —
+        when a job tracer is active — accumulates into the job's
+        ``engine_evaluate`` span.  Observability only; the result dict
+        is bit-identical with or without it.
+        """
+        start = clock.perf_counter()
+        with spans.aggregate("engine_evaluate", engine=self.name):
+            if isinstance(query, UCQ):
+                result = self.evaluate_ucq(query, database)
+            else:
+                result = self.evaluate_cq(query, database)
+        _EVALUATE_SECONDS.observe(clock.perf_counter() - start, engine=self.name)
+        return result
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

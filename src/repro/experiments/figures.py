@@ -23,6 +23,7 @@ from repro.core.privacy import PrivacyComputer, PrivacyConfig
 from repro.datasets.queries import join_variants, query_stats
 from repro.experiments.runner import prepare_context, run_sweep, timed_optimal
 from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+from repro.obs import clock
 
 Series = dict[str, list[tuple[float, float]]]
 
@@ -402,9 +403,8 @@ def run_distribution_sensitivity(
         context = prepare_context(name, settings)
         _, uniform_seconds = timed_optimal(context, settings.privacy_threshold)
         weights = {leaf: rng.uniform(0.5, 2.0) for leaf in context.tree.leaves()}
-        import time as _time
 
-        start = _time.perf_counter()
+        start = clock.perf_counter()
         find_optimal_abstraction(
             context.example, context.tree, settings.privacy_threshold,
             config=OptimizerConfig(
@@ -413,7 +413,7 @@ def run_distribution_sensitivity(
             ),
             distribution=LeafWeightDistribution(weights),
         )
-        weighted_seconds = _time.perf_counter() - start
+        weighted_seconds = clock.perf_counter() - start
         out[name] = [(0, uniform_seconds), (1, weighted_seconds)]
     return out
 
@@ -428,9 +428,8 @@ def run_dual_problem(
         context = prepare_context(name, settings)
         primal, primal_seconds = timed_optimal(context, settings.privacy_threshold)
         cap = primal.loi if primal.found else 5.0
-        import time as _time
 
-        start = _time.perf_counter()
+        start = clock.perf_counter()
         dual = find_dual_optimal_abstraction(
             context.example, context.tree, max_loi=cap,
             config=OptimizerConfig(
@@ -438,7 +437,7 @@ def run_dual_problem(
                 max_seconds=settings.max_seconds,
             ),
         )
-        dual_seconds = _time.perf_counter() - start
+        dual_seconds = clock.perf_counter() - start
         out[name] = [
             (0, primal_seconds),
             (1, dual_seconds),

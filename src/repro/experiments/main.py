@@ -10,11 +10,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import time
 
 from repro.experiments import figures
 from repro.experiments.report import print_series
 from repro.experiments.settings import DEFAULT_SETTINGS, FAST_SETTINGS
+from repro.obs import clock
 
 RUNNERS = {
     "9": ("Figure 9: runtime vs privacy threshold",
@@ -67,9 +67,9 @@ def main(argv: "list[str] | None" = None) -> None:
         if key not in RUNNERS:
             parser.error(f"unknown figure {key!r}")
         title, runner, x_label, y_label = RUNNERS[key]
-        start = time.perf_counter()
+        start = clock.perf_counter()
         series = runner(settings, queries=args.queries)
-        elapsed = time.perf_counter() - start
+        elapsed = clock.perf_counter() - start
         print_series(f"{title}  [{elapsed:.1f}s]", series,
                      x_label=x_label, y_label=y_label)
 

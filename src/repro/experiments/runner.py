@@ -8,7 +8,6 @@ sweeps do not regenerate data per point.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Optional
@@ -25,6 +24,7 @@ from repro.datasets.queries import get_query
 from repro.datasets.tpch import generate_tpch
 from repro.db.database import KDatabase
 from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+from repro.obs import clock
 from repro.provenance.builder import build_kexample
 from repro.provenance.kexample import KExample
 from repro.query.ast import CQ
@@ -146,12 +146,12 @@ def timed_optimal(
         max_candidates=context.settings.max_candidates,
         max_seconds=context.settings.max_seconds,
     )
-    start = time.perf_counter()
+    start = clock.perf_counter()
     result = find_optimal_abstraction(
         context.example, context.tree, threshold, config=config,
         session=session,
     )
-    return result, time.perf_counter() - start
+    return result, clock.perf_counter() - start
 
 
 def run_sweep(jobs, settings: ExperimentSettings = DEFAULT_SETTINGS):

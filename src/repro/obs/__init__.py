@@ -1,0 +1,23 @@
+"""Deterministic-safe observability: spans, metrics, trace files.
+
+The package is the single sanctioned home for steady-clock reads
+(:mod:`repro.obs.clock`), the per-job tracing layer
+(:mod:`repro.obs.spans`), the Prometheus-style metrics registry
+(:mod:`repro.obs.metrics`), and the ``repro-trace-v1`` JSONL trace-file
+format (:mod:`repro.obs.trace`).
+
+Design constraints, enforced by lint and tests:
+
+* **Bit-neutral** — enabling tracing changes no result or content
+  hashes; trace data rides in the VOLATILE tier of scenario snapshots
+  and the ``trace`` config field is stripped before content hashing.
+* **Near-zero when disabled** — ``span()``/``aggregate()`` return a
+  shared no-op context manager when no tracer is active, guarded by
+  ``benchmarks/bench_obs_overhead.py``.
+* **REP001/REP007 clean** — all ``perf_counter``/``monotonic`` reads in
+  instrumented packages resolve through :mod:`repro.obs.clock`.
+"""
+
+from repro.obs import clock, metrics, spans, trace
+
+__all__ = ["clock", "metrics", "spans", "trace"]

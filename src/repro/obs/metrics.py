@@ -1,0 +1,341 @@
+"""A small Prometheus-style metrics registry.
+
+Counters, gauges, and histograms with label support, rendered in the
+Prometheus text exposition format (version 0.0.4) that ``GET /metrics``
+on the job service serves.  No external client library — the stdlib is
+the dependency budget — but the output is scrape-compatible.
+
+Two registries exist by convention:
+
+* :data:`REGISTRY` — the process-wide default where library-level
+  instruments live (engine evaluation, store I/O, cache lookups).
+* a private :class:`MetricsRegistry` per :class:`~repro.service.server.
+  JobService` for service-level metrics, so concurrent services in one
+  process (common in tests) don't bleed counters into each other.
+
+``/metrics`` concatenates both.  Metric names are disjoint by prefix
+(``repro_service_*`` vs ``repro_engine_*``/``repro_store_*``/
+``repro_cache_*``), so the concatenation is itself valid exposition
+text.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Content type for the text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default latency buckets (seconds); +Inf is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricsError(ValueError):
+    """Invalid metric/label name or conflicting re-registration."""
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    as_int = int(value)
+    if value == as_int:
+        return str(as_int)
+    return repr(value)
+
+
+def _label_pairs(
+    labelnames: Tuple[str, ...], labels: Dict[str, str]
+) -> Tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise MetricsError(
+            f"expected labels {labelnames!r}, got {tuple(sorted(labels))!r}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+def _render_labels(
+    labelnames: Tuple[str, ...],
+    values: Tuple[str, ...],
+    extra: Tuple[Tuple[str, str], ...] = (),
+) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, values)
+    ]
+    pairs.extend(f'{name}="{_escape_label_value(value)}"' for name, value in extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help_text: str, labelnames: Tuple[str, ...],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames = labelnames
+        self._lock = lock
+
+    def _header(self) -> List[str]:
+        help_text = self.help.replace("\\", "\\\\").replace("\n", "\\n")
+        return [
+            f"# HELP {self.name} {help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def render(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, *args: object) -> None:
+        super().__init__(*args)  # type: ignore[arg-type]
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter {self.name} cannot decrease")
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                f"{self.name}{_render_labels(self.labelnames, key)}"
+                f" {_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down; sampled at scrape time."""
+
+    kind = "gauge"
+
+    def __init__(self, *args: object) -> None:
+        super().__init__(*args)  # type: ignore[arg-type]
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                f"{self.name}{_render_labels(self.labelnames, key)}"
+                f" {_format_value(value)}"
+            )
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket latency histogram (``_bucket``/``_sum``/``_count``)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help_text: str, labelnames: Tuple[str, ...],
+        lock: threading.Lock, buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise MetricsError(f"histogram {name} buckets must be sorted and unique")
+        self.buckets = tuple(float(b) for b in buckets if b != math.inf)
+        # per label-key: [per-bucket counts..., +Inf count], sum
+        self._values: Dict[Tuple[str, ...], Tuple[List[int], float]] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_pairs(self.labelnames, labels)
+        value = float(value)
+        with self._lock:
+            entry = self._values.get(key)
+            if entry is None:
+                entry = ([0] * (len(self.buckets) + 1), 0.0)
+            counts, total = entry
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._values[key] = (counts, total + value)
+
+    def count(self, **labels: str) -> int:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            entry = self._values.get(key)
+            return sum(entry[0]) if entry else 0
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(
+                (key, (list(counts), total))
+                for key, (counts, total) in self._values.items()
+            )
+        for key, (counts, total) in items:
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, counts):
+                cumulative += bucket_count
+                labels = _render_labels(
+                    self.labelnames, key, (("le", _format_value(bound)),)
+                )
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            cumulative += counts[-1]
+            labels = _render_labels(self.labelnames, key, (("le", "+Inf"),))
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            lines.append(
+                f"{self.name}_sum{_render_labels(self.labelnames, key)}"
+                f" {_format_value(total)}"
+            )
+            lines.append(
+                f"{self.name}_count{_render_labels(self.labelnames, key)}"
+                f" {cumulative}"
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metrics with one shared lock.
+
+    Registration is idempotent for an identical (kind, labelnames)
+    signature — module-level instruments survive re-imports — and a
+    conflicting re-registration raises, catching copy-paste drift.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, metric_cls: type, name: str, help_text: str,
+                  labelnames: Sequence[str], **kwargs: object) -> _Metric:
+        if not _METRIC_NAME.match(name):
+            raise MetricsError(f"invalid metric name: {name!r}")
+        names = tuple(labelnames)
+        for label in names:
+            if not _LABEL_NAME.match(label) or label.startswith("__"):
+                raise MetricsError(f"invalid label name: {label!r}")
+        with self._lock:
+            existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not metric_cls or existing.labelnames != names:
+                raise MetricsError(
+                    f"metric {name!r} already registered with a different "
+                    f"type or label set"
+                )
+            return existing
+        metric = metric_cls(name, help_text, names, self._lock, **kwargs)
+        with self._lock:
+            # Lost race: keep the first registration.
+            winner = self._metrics.setdefault(name, metric)
+        return winner
+
+    def counter(self, name: str, help_text: str,
+                labelnames: Sequence[str] = ()) -> Counter:
+        metric = self._register(Counter, name, help_text, labelnames)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help_text: str,
+              labelnames: Sequence[str] = ()) -> Gauge:
+        metric = self._register(Gauge, name, help_text, labelnames)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(self, name: str, help_text: str,
+                  labelnames: Sequence[str] = (),
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        metric = self._register(
+            Histogram, name, help_text, labelnames, buckets=buckets
+        )
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render(self) -> str:
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_many(registries: Iterable[MetricsRegistry]) -> str:
+    """Concatenate several registries into one exposition document."""
+    return "".join(registry.render() for registry in registries)
+
+
+#: Process-wide default registry for library-level instruments.
+REGISTRY = MetricsRegistry()
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "REGISTRY",
+    "render_many",
+]

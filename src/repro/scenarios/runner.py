@@ -20,6 +20,7 @@ import time
 from typing import Optional
 
 from repro.errors import ScenarioError
+from repro.obs import clock
 from repro.scenarios.matrix import ScenarioMatrix, materialize
 from repro.scenarios.snapshot import SNAPSHOT_SCHEMA, result_hash
 from repro.service.server import JobService
@@ -38,6 +39,8 @@ def run_matrix(
     store_path: Optional[str] = None,
     settings=None,
     engine: str = "naive",
+    trace: bool = False,
+    trace_path: Optional[str] = None,
 ) -> dict:
     """Run every cell of ``matrix`` and return the snapshot dict.
 
@@ -51,6 +54,10 @@ def run_matrix(
     ``executor`` picks the concurrency tier: content hashes, result
     hashes, and payloads are identical across engines, so runs on
     different engines share the persistent cache.
+
+    ``trace`` turns on per-job span tracing (``trace_path`` also streams
+    one ``repro-trace-v1`` line per job); traces live in the VOLATILE
+    tier, so result hashes are identical with tracing on or off.
     """
     from repro.experiments.settings import DEFAULT_SETTINGS
 
@@ -65,8 +72,12 @@ def run_matrix(
         store=store,
         executor=executor,
         engine=engine,
+        trace=trace,
+        trace_path=trace_path,
     )
+    # Snapshot timestamp (wall, display-only) vs. run duration (perf).
     started = time.time()
+    wall_t0 = clock.perf_counter()
     service.start()
     try:
         ids = [(cell, job, service.submit(job)) for cell, job in jobs]
@@ -78,7 +89,7 @@ def run_matrix(
         service.shutdown()
         if store is not None:
             store.close()
-    wall = time.time() - started
+    wall = clock.perf_counter() - wall_t0
     failures = [c for c in cells if c.get("error")]
     if failures:
         first = failures[0]

@@ -39,7 +39,7 @@ SNAPSHOT_SCHEMA = "repro-scenarios-v1"
 VOLATILE_FIELDS = frozenset({
     "seconds", "wall_seconds", "job_seconds", "generated_at",
     "cache_hit", "cache_hits", "session_reused", "sessions_reused",
-    "executor", "engine", "workers",
+    "executor", "engine", "workers", "trace",
 })
 
 #: The payload fields a cell's ``result_hash`` digests — exactly the

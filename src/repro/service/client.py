@@ -16,6 +16,7 @@ import urllib.request
 from typing import Sequence
 
 from repro.errors import ServiceError
+from repro.obs import clock
 from repro.service.state import JOB_CANCELLED, TERMINAL_STATES
 
 
@@ -137,14 +138,14 @@ class ServiceClient:
         A cancelled job returns its status payload (it has no result).
         Raises :class:`ServiceError` when ``timeout`` elapses first.
         """
-        deadline = time.monotonic() + timeout
+        deadline = clock.monotonic() + timeout
         while True:
             status = self.status(job_id)
             if status["state"] in TERMINAL_STATES:
                 if status["state"] == JOB_CANCELLED:
                     return status
                 return self.result(job_id)
-            if time.monotonic() >= deadline:
+            if clock.monotonic() >= deadline:
                 raise ServiceError(
                     f"timed out after {timeout:.0f}s waiting for {job_id} "
                     f"(state: {status['state']})"
@@ -158,10 +159,10 @@ class ServiceClient:
         interval: float = 0.2,
     ) -> list[dict]:
         """Wait for every id (shared deadline); payloads in input order."""
-        deadline = time.monotonic() + timeout
+        deadline = clock.monotonic() + timeout
         payloads = []
         for job_id in job_ids:
-            remaining = max(0.0, deadline - time.monotonic())
+            remaining = max(0.0, deadline - clock.monotonic())
             payloads.append(self.wait(job_id, timeout=remaining, interval=interval))
         return payloads
 
@@ -169,13 +170,13 @@ class ServiceClient:
         self, timeout: float = 30.0, interval: float = 0.2
     ) -> None:
         """Block until ``/healthz`` answers (server startup helper)."""
-        deadline = time.monotonic() + timeout
+        deadline = clock.monotonic() + timeout
         while True:
             try:
                 self.health()
                 return
             except ServiceError:
-                if time.monotonic() >= deadline:
+                if clock.monotonic() >= deadline:
                     raise ServiceError(
                         f"job service at {self._base} did not become "
                         f"healthy within {timeout:.0f}s"

@@ -69,6 +69,8 @@ from repro.core.optimizer import OptimizerConfig
 from repro.engine import DEFAULT_ENGINE
 from repro.errors import JobSpecError, ServiceError
 from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
+from repro.obs import clock, metrics
+from repro.obs.trace import TraceWriter, trace_record
 from repro.service.executors import make_backend
 from repro.service.state import (
     JOB_CANCELLED,
@@ -133,12 +135,21 @@ class JobService:
         store: Optional[JobStore] = None,
         executor: str = "thread",
         engine: str = "naive",
+        trace: bool = False,
+        trace_path: Optional[str] = None,
     ):
         from repro.engine import get_engine
 
         self._settings = settings
         self._worker_threads = max(0, worker_threads)
         self._job_timeout = job_timeout
+        # Tracing is stamped onto every job like the engine (execution
+        # detail, hash-neutral); a trace file implies tracing, and each
+        # completed traced job streams one repro-trace-v1 line to it.
+        self._trace = trace or trace_path is not None
+        self._trace_writer = (
+            TraceWriter(trace_path) if trace_path is not None else None
+        )
         # The evaluation engine stamped onto every job this service runs
         # (an execution detail, like the executor tier: content hashes
         # and results are engine-independent).  Resolving it now fails
@@ -155,7 +166,61 @@ class JobService:
         self._records: dict[str, JobRecord] = {}
         self._threads: list[threading.Thread] = []
         self._ids = itertools.count(1)
-        self._started_monotonic = time.monotonic()
+        self._started_monotonic = clock.monotonic()
+        # Service-level metrics live in a private registry so concurrent
+        # services in one process (tests) don't bleed into each other;
+        # /metrics renders it alongside the process-wide library
+        # registry (engine/store/cache instruments).
+        self._smetrics = metrics.MetricsRegistry()
+        self._m_submitted = self._smetrics.counter(
+            "repro_service_jobs_submitted_total",
+            "Jobs accepted into the queue.",
+        )
+        self._m_completed = self._smetrics.counter(
+            "repro_service_jobs_completed_total",
+            "Jobs reaching a terminal state, by state.",
+            labelnames=("state",),
+        )
+        self._m_cache_hits = self._smetrics.counter(
+            "repro_service_cache_hits_total",
+            "Jobs answered from the content-addressed result cache.",
+        )
+        self._m_store_errors = self._smetrics.counter(
+            "repro_service_store_errors_total",
+            "Store operations that failed and were degraded (persistence "
+            "skipped, stats fell back to defaults).",
+        )
+        self._m_queue_wait = self._smetrics.histogram(
+            "repro_service_queue_wait_seconds",
+            "Time from submission to execution start.",
+        )
+        self._m_job_seconds = self._smetrics.histogram(
+            "repro_service_job_seconds",
+            "Search seconds per executed (non-cache-hit) job.",
+        )
+        self._m_phase_seconds = self._smetrics.histogram(
+            "repro_service_phase_seconds",
+            "Per-job time inside each trace phase (traced jobs only).",
+            labelnames=("phase",),
+        )
+        self._g_queue_depth = self._smetrics.gauge(
+            "repro_service_queue_depth", "Jobs currently queued.",
+        )
+        self._g_jobs_running = self._smetrics.gauge(
+            "repro_service_jobs_running", "Jobs currently executing.",
+        )
+        self._g_results_stored = self._smetrics.gauge(
+            "repro_service_results_stored",
+            "Result payloads in the attached store (0 without --store).",
+        )
+        self._g_uptime = self._smetrics.gauge(
+            "repro_service_uptime_seconds", "Service uptime.",
+        )
+        self._g_info = self._smetrics.gauge(
+            "repro_service_info",
+            "Constant 1; the labels carry the service configuration.",
+            labelnames=("executor", "engine", "workers"),
+        )
         # Aggregates over completed jobs (mirrors BatchStats' reuse/effort
         # counters, accumulated as the stream drains).
         self._job_seconds = 0.0
@@ -174,6 +239,12 @@ class JobService:
             executor,
             workers=max(1, self._worker_threads),
             store_path=shareable_store_path(store),
+        )
+        self._g_info.set(
+            1,
+            executor=self._backend.name,
+            engine=engine,
+            workers=str(max(1, self._worker_threads)),
         )
         self._recovered_jobs = 0
         self._requeued_jobs = 0
@@ -209,6 +280,8 @@ class JobService:
         for thread in threads:
             thread.join(timeout)
         self._backend.shutdown()
+        if self._trace_writer is not None:
+            self._trace_writer.close()
 
     # -- durability --------------------------------------------------------
 
@@ -247,7 +320,9 @@ class JobService:
                     job_id, state, finished_at=finished_at
                 )
         except sqlite3.Error:
-            pass  # durability is best-effort; serving continues
+            # Durability is best-effort; serving continues — but the
+            # degradation is counted, not invisible (stats + /metrics).
+            self._m_store_errors.inc()
 
     def _persist_state(self, job_id: str, state: str, **times) -> None:
         if self._store is None:
@@ -255,7 +330,7 @@ class JobService:
         try:
             self._store.update_job(job_id, state, **times)
         except sqlite3.Error:
-            pass
+            self._m_store_errors.inc()
 
     def _recover(self) -> None:
         """Rebuild records from the store; re-enqueue unfinished jobs.
@@ -345,8 +420,10 @@ class JobService:
                         record.result = BatchJobResult.from_payload(
                             payload, job
                         )
-                except (sqlite3.Error, ValueError, TypeError, KeyError,
-                        AttributeError):
+                except sqlite3.Error:
+                    self._m_store_errors.inc()
+                    payload = None
+                except (ValueError, TypeError, KeyError, AttributeError):
                     payload = None
                 if record.result is None:
                     record.error = (
@@ -369,6 +446,7 @@ class JobService:
             seq = next(self._ids)
             job_id = f"job-{seq:06d}"
             self._records[job_id] = JobRecord(job_id=job_id, job=job)
+        self._m_submitted.inc()
         self._persist_submit(job_id, seq, job)
         self._queue.put(job_id)
         return job_id
@@ -415,6 +493,7 @@ class JobService:
             max_candidates=self._settings.max_candidates,
             max_seconds=self._settings.max_seconds,
             engine=self._engine,
+            trace=self._trace,
         )
 
     # -- queries -----------------------------------------------------------
@@ -450,6 +529,7 @@ class JobService:
             finished_at = record.finished_at
         # Store commit outside the lock: a contended SQLite file must
         # not freeze the other endpoints (same rule as stats/submit).
+        self._m_completed.inc(state="cancelled")
         self._persist_state(job_id, JOB_CANCELLED, finished_at=finished_at)
         return True
 
@@ -464,11 +544,12 @@ class JobService:
             try:
                 results_stored = self._store.result_count()
             except sqlite3.Error:
-                pass
+                self._m_store_errors.inc()
+        store_errors = int(self._m_store_errors.value())
         with self._lock:
             states = [r.state for r in self._records.values()]
             return {
-                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "uptime_seconds": clock.monotonic() - self._started_monotonic,
                 "executor": self._backend.name,
                 "engine": self._engine,
                 "worker_threads": self._worker_threads,
@@ -492,9 +573,35 @@ class JobService:
                     self._store.path if self._store is not None else None
                 ),
                 "results_stored": results_stored,
+                # Store operations that failed and were degraded; nonzero
+                # means durability/dedup is impaired even though serving
+                # continues (the silent-swallow bugfix, also a /metrics
+                # counter).
+                "store_errors": store_errors,
                 "jobs_recovered": self._recovered_jobs,
                 "jobs_requeued": self._requeued_jobs,
             }
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition document behind ``GET /metrics``.
+
+        Scrape-time gauges are refreshed here; the rest of the document
+        is the live service registry plus the process-wide library
+        registry (engine/store/cache instruments).
+        """
+        with self._lock:
+            states = [r.state for r in self._records.values()]
+        self._g_queue_depth.set(states.count(JOB_QUEUED))
+        self._g_jobs_running.set(states.count(JOB_RUNNING))
+        self._g_uptime.set(clock.monotonic() - self._started_monotonic)
+        results_stored = 0
+        if self._store is not None:
+            try:
+                results_stored = self._store.result_count()
+            except sqlite3.Error:
+                self._m_store_errors.inc()
+        self._g_results_stored.set(results_stored)
+        return metrics.render_many([self._smetrics, metrics.REGISTRY])
 
     # -- execution ---------------------------------------------------------
 
@@ -537,14 +644,16 @@ class JobService:
 
     def _effective_job(self, job):
         """The job as it will actually run: ``max_seconds`` clamped to the
-        service timeout, and the service's engine stamped on the config.
+        service timeout, and the service's engine and trace flag stamped
+        on the config.
 
-        Neither adjustment moves the content hash: the materialized base
-        budgets equal :func:`repro.store.hashing.effective_config`'s
-        fallback exactly, and the engine field is stripped from hashing.
-        A job that needs neither is returned untouched — a config-less
-        job on a default-engine service already runs exactly this config
-        through :func:`repro.batch.optimizer.run_job`'s own fallback.
+        None of the adjustments move the content hash: the materialized
+        base budgets equal :func:`repro.store.hashing.effective_config`'s
+        fallback exactly, and the engine and trace fields are stripped
+        from hashing.  A job that needs nothing is returned untouched — a
+        config-less job on a default-engine, untraced service already
+        runs exactly this config through
+        :func:`repro.batch.optimizer.run_job`'s own fallback.
         """
         base = job.config or self._base_config()
         config = base
@@ -556,10 +665,12 @@ class JobService:
             config = dataclasses.replace(config, max_seconds=max_seconds)
         if config.engine != self._engine:
             config = dataclasses.replace(config, engine=self._engine)
+        if config.trace != self._trace:
+            config = dataclasses.replace(config, trace=self._trace)
         if config is job.config:
             return job
         if (config is base and job.config is None
-                and self._engine == DEFAULT_ENGINE):
+                and self._engine == DEFAULT_ENGINE and not self._trace):
             return job
         return dataclasses.replace(job, config=config)
 
@@ -572,6 +683,11 @@ class JobService:
             record.started_at = time.time()
             record.executor = self._backend.name
         self._persist_state(job_id, JOB_RUNNING, started_at=record.started_at)
+        # Queue wait from the wall-clock record timestamps: both stamped
+        # by this process, so the difference is a valid interval.
+        self._m_queue_wait.observe(
+            max(0.0, record.started_at - record.submitted_at)
+        )
         effective = self._effective_job(record.job)
         # The service-side cache consult answers repeats without a pool
         # round trip; a process backend with a file store consults (and
@@ -608,6 +724,43 @@ class JobService:
             finished_at=record.finished_at,
             error=result.error,
         )
+        self._observe_completion(result)
+
+    def _observe_completion(self, result: BatchJobResult) -> None:
+        """Fold one finished job into the service metrics (and the trace
+        file, when one is attached).  Runs outside the service lock."""
+        self._m_completed.inc(state="done" if result.ok else "failed")
+        if result.cache_hit:
+            self._m_cache_hits.inc()
+        elif result.ok:
+            self._m_job_seconds.observe(result.seconds)
+        if not result.trace:
+            return
+        # Per-phase totals for this job: spans grouped by name, one
+        # histogram observation per phase per job.  Phase names are a
+        # small fixed taxonomy, so label cardinality stays bounded.
+        totals: dict[str, float] = {}
+        for span in result.trace:
+            name = str(span.get("name", ""))
+            totals[name] = totals.get(name, 0.0) + float(
+                span.get("seconds", 0.0)
+            )
+        for name, seconds in sorted(totals.items()):
+            self._m_phase_seconds.observe(seconds, phase=name)
+        if self._trace_writer is not None:
+            job = result.job
+            record = trace_record(
+                result.trace,
+                label=f"{job.query_name}@{job.threshold}",
+                query=job.query_name,
+                threshold=job.threshold,
+                tag=job.tag or None,
+                seconds=result.seconds,
+            )
+            try:
+                self._trace_writer.write(record)
+            except (OSError, ValueError):
+                pass  # a full disk must not fail the job
 
 
 class JobServiceHandler(BaseHTTPRequestHandler):
@@ -632,6 +785,14 @@ class JobServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, code: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _read_json(self):
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
@@ -644,6 +805,10 @@ class JobServiceHandler(BaseHTTPRequestHandler):
                 self._send(200, {"ok": True})
             elif parts == ["stats"]:
                 self._send(200, self.service.stats_payload())
+            elif parts == ["metrics"]:
+                self._send_text(
+                    200, self.service.metrics_text(), metrics.CONTENT_TYPE
+                )
             elif parts == ["jobs"]:
                 self._send(200, {"jobs": self.service.list_payload()})
             elif len(parts) == 2 and parts[0] == "jobs":

@@ -29,8 +29,18 @@ from __future__ import annotations
 import sqlite3
 from typing import Optional
 
+from repro.obs import metrics, spans
 from repro.store.hashing import job_content_hash
 from repro.store.jobstore import JobStore
+
+#: Process-local cache-lookup traffic, by outcome: ``hit`` (payload
+#: served), ``miss`` (no row), ``error`` (a damaged store degraded to a
+#: miss — the only signal the degradation leaves behind).
+_LOOKUPS = metrics.REGISTRY.counter(
+    "repro_cache_lookups_total",
+    "ResultCache lookups by outcome (hit/miss/error).",
+    labelnames=("outcome",),
+)
 
 
 def shareable_store_path(store: Optional[JobStore]) -> Optional[str]:
@@ -80,13 +90,17 @@ class ResultCache:
         # payload whose shape from_payload cannot digest — must degrade
         # to a miss: run_job's "never raises" contract sits on top.
         try:
-            payload = self._store.load_result(self.key(job, settings))
-            if payload is None:
-                return None
-            result = BatchJobResult.from_payload(payload, job)
+            with spans.aggregate("cache_lookup"):
+                payload = self._store.load_result(self.key(job, settings))
+                if payload is None:
+                    _LOOKUPS.inc(outcome="miss")
+                    return None
+                result = BatchJobResult.from_payload(payload, job)
         except (sqlite3.Error, ValueError, TypeError, KeyError,
                 AttributeError):
+            _LOOKUPS.inc(outcome="error")
             return None
+        _LOOKUPS.inc(outcome="hit")
         result.cache_hit = True
         return result
 

@@ -190,7 +190,7 @@ def effective_config(job, settings):
 #: resubmission, and vice versa).  The equivalence tests and the
 #: scenario smoke's cross-engine baseline diff enforce the bit-identity
 #: this stripping assumes.
-EXECUTION_ONLY_CONFIG_FIELDS = ("engine",)
+EXECUTION_ONLY_CONFIG_FIELDS = ("engine", "trace")
 
 
 def job_content_hash(job, settings) -> str:

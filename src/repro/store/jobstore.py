@@ -32,6 +32,36 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ServiceError
+from repro.obs import clock, metrics, spans
+
+#: Process-local store-operation latency, by operation name.  The timer
+#: wraps the lock acquisition too, so lock contention shows up here.
+_OP_SECONDS = metrics.REGISTRY.histogram(
+    "repro_store_op_seconds",
+    "JobStore operation latency (lock wait included), by operation.",
+    labelnames=("op",),
+)
+
+
+class _timed:
+    """Times one store operation into the histogram and — when a job
+    tracer is ambient — the job's aggregated ``store_io`` span."""
+
+    __slots__ = ("_op", "_t0")
+
+    def __init__(self, op: str) -> None:
+        self._op = op
+
+    def __enter__(self) -> "_timed":
+        self._t0 = clock.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = clock.perf_counter() - self._t0
+        _OP_SECONDS.observe(elapsed, op=self._op)
+        tracer = spans.current()
+        if tracer is not None:
+            tracer.add("store_io", elapsed, op=self._op)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -124,7 +154,7 @@ class JobStore:
         submitted_at: Optional[float] = None,
     ) -> None:
         """Insert (or overwrite) one job record."""
-        with self._lock:
+        with _timed("record_job"), self._lock:
             self._conn.execute(
                 "INSERT OR REPLACE INTO jobs "
                 "(job_id, seq, content_hash, spec, state, submitted_at) "
@@ -158,7 +188,7 @@ class JobStore:
         in a dead process, and a queued row must not carry that process's
         start timestamp.
         """
-        with self._lock:
+        with _timed("update_job"), self._lock:
             if clear_started_at:
                 started_sql, started_param = "?", None
             else:
@@ -176,7 +206,7 @@ class JobStore:
             self._conn.commit()
 
     def get_job(self, job_id: str) -> Optional[StoredJob]:
-        with self._lock:
+        with _timed("get_job"), self._lock:
             row = self._conn.execute(
                 f"SELECT {_JOB_COLUMNS} FROM jobs WHERE job_id = ?", (job_id,)
             ).fetchone()
@@ -190,7 +220,7 @@ class JobStore:
             query += " WHERE state = ?"
             params = (state,)
         query += " ORDER BY seq"
-        with self._lock:
+        with _timed("list_jobs"), self._lock:
             rows = self._conn.execute(query, params).fetchall()
         return [_stored_job(row) for row in rows]
 
@@ -211,7 +241,7 @@ class JobStore:
         """
         # created_at/last_used_at are gc bookkeeping, not hash inputs.
         now = time.time()  # repro: allow[REP001]
-        with self._lock:
+        with _timed("save_result"), self._lock:
             cursor = self._conn.execute(
                 "INSERT OR IGNORE INTO results "
                 "(content_hash, payload, created_at, last_used_at) "
@@ -233,7 +263,7 @@ class JobStore:
         through here.  Inspection and restart recovery use
         :meth:`peek_result`.
         """
-        with self._lock:
+        with _timed("load_result"), self._lock:
             row = self._conn.execute(
                 "SELECT payload FROM results WHERE content_hash = ?",
                 (content_hash,),
@@ -251,7 +281,7 @@ class JobStore:
 
     def peek_result(self, content_hash: str) -> Optional[dict]:
         """The stored payload without touching the usage counters."""
-        with self._lock:
+        with _timed("peek_result"), self._lock:
             row = self._conn.execute(
                 "SELECT payload FROM results WHERE content_hash = ?",
                 (content_hash,),
@@ -259,7 +289,7 @@ class JobStore:
         return json.loads(row[0]) if row is not None else None
 
     def result_count(self) -> int:
-        with self._lock:
+        with _timed("result_count"), self._lock:
             row = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
         return int(row[0])
 

@@ -5,6 +5,8 @@ import random
 import time
 from datetime import datetime
 
+from repro.obs import clock
+
 
 def build_inputs(spec):
     stamp = time.time()
@@ -18,6 +20,6 @@ def build_inputs(spec):
 
 def sanctioned(seed):
     rng = random.Random(seed)  # seeded constructor: allowed
-    elapsed = time.perf_counter()  # duration clock: allowed
+    elapsed = clock.perf_counter()  # sanctioned duration clock
     audited = time.time()  # repro: allow[REP001]
     return rng.random() if elapsed or audited else None

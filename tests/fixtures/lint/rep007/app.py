@@ -1,0 +1,23 @@
+"""Fixture: raw monotonic-clock reads outside repro.obs (REP007)."""
+
+import time
+import time as _t
+from time import monotonic, perf_counter
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def deadline_in(seconds):
+    return time.monotonic() + seconds
+
+
+def aliased():
+    return _t.perf_counter_ns()
+
+
+def from_imported():
+    return perf_counter() - monotonic()

@@ -1,0 +1,25 @@
+"""Fixture: sanctioned timing and wall-clock reads (not REP007's beat)."""
+
+import time
+
+from repro.obs import clock
+
+
+def measure(fn):
+    start = clock.perf_counter()
+    fn()
+    return clock.perf_counter() - start
+
+
+def deadline_in(seconds):
+    return clock.monotonic() + seconds
+
+
+def stamp():
+    # Wall clock is REP001's business, not the timing surface's
+    # (fixtures analyze standalone, so every module is hash-feeding).
+    return time.time()  # repro: allow[REP001]
+
+
+def nap():
+    time.sleep(0.01)

@@ -1,0 +1,7 @@
+"""Fixture: an obs-package module owns the raw clock surface."""
+
+import time
+
+
+def origin():
+    return time.perf_counter()

@@ -1,0 +1,8 @@
+"""Fixture: a deliberate raw clock read, suppressed with a reason."""
+
+import time
+
+
+def calibrate():
+    # Measuring the clock itself; going through the alias would be circular.
+    return time.perf_counter()  # repro: allow[REP007]

@@ -13,7 +13,7 @@ class TestExitCodes:
     def test_clean_input_exits_zero(self, capsys):
         code = main(["lint", str(FIXTURES / "rep004" / "handlers_ok.py")])
         assert code == 0
-        assert "clean: 1 files, 6 rules, 0 findings" in capsys.readouterr().out
+        assert "clean: 1 files, 7 rules, 0 findings" in capsys.readouterr().out
 
     def test_findings_exit_one(self, capsys):
         code = main(["lint", str(FIXTURES / "rep005" / "seeds_bad.py")])
@@ -64,6 +64,7 @@ class TestJsonFormat:
         assert document["files_checked"] == 1
         assert document["rules_run"] == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP007",
         ]
         assert document["counts"] == {"REP005": 4}
         assert document["ok"] is False
@@ -120,6 +121,7 @@ class TestRuleSelection:
         out = capsys.readouterr().out
         for rule_id in (
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP007",
         ):
             assert rule_id in out
         assert "determinism" in out
@@ -128,3 +130,4 @@ class TestRuleSelection:
         assert "exception-hygiene" in out
         assert "seed-plumbing" in out
         assert "engine-discipline" in out
+        assert "obs-discipline" in out

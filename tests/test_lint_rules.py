@@ -33,7 +33,7 @@ class TestDeterminismRule:
     def test_every_banned_call_in_the_feeder_fires(self, report):
         feeder = findings_in(report, "feeder.py")
         assert [f.rule for f in feeder] == ["REP001"] * 6
-        assert sorted(f.line for f in feeder) == [10, 11, 12, 13, 14, 15]
+        assert sorted(f.line for f in feeder) == [12, 13, 14, 15, 16, 17]
 
     def test_messages_name_the_resolved_call(self, report):
         messages = " | ".join(f.message for f in findings_in(report, "feeder.py"))
@@ -48,10 +48,10 @@ class TestDeterminismRule:
         assert findings_in(report, "bystander.py") == []
 
     def test_sanctioned_patterns_and_suppression_stay_clean(self, report):
-        # random.Random(seed) and time.perf_counter() in sanctioned()
-        # are allowed; the allow[REP001] on line 22 is used, so no
+        # random.Random(seed) and clock.perf_counter() in sanctioned()
+        # are allowed; the allow[REP001] on line 24 is used, so no
         # REP000 appears either.
-        assert not any(f.line >= 19 for f in findings_in(report, "feeder.py"))
+        assert not any(f.line >= 21 for f in findings_in(report, "feeder.py"))
         assert not any(
             f.rule == UNUSED_SUPPRESSION_RULE for f in report.findings
         )
@@ -211,6 +211,35 @@ class TestEngineDisciplineRule:
         assert findings_in(report, "db/inner.py") == []
 
     def test_suppressed_raw_read_is_silenced(self, report):
+        assert findings_in(report, "suppressed.py") == []
+        assert not any(
+            f.rule == UNUSED_SUPPRESSION_RULE for f in report.findings
+        )
+
+
+class TestObsDisciplineRule:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_paths([FIXTURES / "rep007"])
+
+    def test_direct_aliased_and_from_imported_clock_reads_fire(self, report):
+        bad = findings_in(report, "app.py")
+        assert [f.rule for f in bad] == ["REP007"] * 6
+        assert sorted(f.line for f in bad) == [9, 11, 15, 19, 23, 23]
+        messages = " | ".join(f.message for f in bad)
+        assert "time.perf_counter()" in messages
+        assert "time.monotonic()" in messages
+        assert "time.perf_counter_ns()" in messages
+        assert "repro.obs.clock" in messages
+
+    def test_clock_aliases_wall_clock_and_sleep_are_clean(self, report):
+        assert findings_in(report, "clean.py") == []
+
+    def test_obs_package_and_common_helper_are_exempt(self, report):
+        assert findings_in(report, "obs/inner.py") == []
+        assert findings_in(report, "_common.py") == []
+
+    def test_suppressed_clock_read_is_silenced(self, report):
         assert findings_in(report, "suppressed.py") == []
         assert not any(
             f.rule == UNUSED_SUPPRESSION_RULE for f in report.findings

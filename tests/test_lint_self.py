@@ -27,6 +27,7 @@ def test_self_lint_covers_the_whole_package():
     assert report.files_checked >= 80
     assert report.rules_run == [
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+        "REP007",
     ]
 
 
