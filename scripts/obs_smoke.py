@@ -112,11 +112,11 @@ def main() -> int:
             "query": QUERY,
             "threshold": 2,
         }
-        ids = client.submit([spec, {**spec, "threshold": 3}])
+        ids = client.submit_many([spec, {**spec, "threshold": 3}])
         for job_id in ids:
             payload = client.wait(job_id, timeout=120)
             assert payload["state"] == "done", payload
-        ids = client.submit([spec])  # identical job -> store cache hit
+        ids = client.submit_many([spec])  # identical job -> store cache hit
         client.wait(ids[0], timeout=120)
 
         after = scrape(port)

@@ -88,7 +88,7 @@ def main() -> int:
         }
 
         # Stream 1: one inline job; result must match the direct search.
-        ids = client.submit([spec])
+        ids = client.submit_many([spec])
         payload = client.wait(ids[0], timeout=120)
         assert payload["state"] == "done", payload
         assert payload["found"], payload
@@ -102,7 +102,7 @@ def main() -> int:
         # Under the process executor the session lives in the pool
         # worker process, so sessions_reused > 0 asserts the per-process
         # warm-up actually happened there.
-        ids = client.submit([{**spec, "threshold": 3}])
+        ids = client.submit_many([{**spec, "threshold": 3}])
         client.wait(ids[0], timeout=120)
         stats = client.stats()
         assert stats["jobs_done"] == 2, stats
@@ -113,7 +113,7 @@ def main() -> int:
         if args.executor == "process":
             # Stream 3: a bit-for-bit identical job must be served from
             # the shared store without re-running the search.
-            ids = client.submit([spec])
+            ids = client.submit_many([spec])
             repeat = client.wait(ids[0], timeout=120)
             assert repeat["cache_hit"] is True, repeat
             assert repeat["privacy"] == direct.privacy, repeat

@@ -84,7 +84,7 @@ def main() -> int:
         server = start_server(store_path, port)
         client = ServiceClient(f"http://127.0.0.1:{port}",
                                connect_retries=8, retry_backoff=0.25)
-        ids = client.submit([
+        ids = client.submit_many([
             {**spec, "threshold": k, "tag": f"k{k}"} for k in THRESHOLDS
         ])
         assert len(ids) == len(THRESHOLDS), ids
@@ -114,7 +114,7 @@ def main() -> int:
         # Dedup across restarts: a content-identical resubmission is a
         # cache hit with the same payload, optimizer untouched.
         stats_before = client.stats()
-        resubmitted = client.submit([{**spec, "threshold": THRESHOLDS[0],
+        resubmitted = client.submit_many([{**spec, "threshold": THRESHOLDS[0],
                                       "tag": "again"}])
         again = client.wait(resubmitted[0], timeout=60)
         assert again["cache_hit"] is True, again

@@ -357,6 +357,69 @@ def job_to_spec(job: "Union[BatchJob, InlineJob]") -> dict:
     return spec
 
 
+def config_to_payload(config: OptimizerConfig) -> dict:
+    """An :class:`OptimizerConfig` as a lossless JSON-safe dict.
+
+    The job-spec grammar can only express the budget keys; the fleet's
+    claim descriptors need the *whole* effective config on the wire —
+    every switch, the privacy sub-config included — so a remote worker
+    runs exactly the config the service hashed, not a reconstruction.
+    The encoding is :func:`repro.store.hashing.jsonable`'s (nested
+    dataclasses become sorted dicts, enums their values), which is also
+    what content hashing digests — by construction, what survives
+    transport is what was hashed.
+    """
+    from repro.store.hashing import jsonable
+
+    return jsonable(config)
+
+
+def _dataclass_from_payload(cls, payload, field_builders):
+    """Rebuild dataclass ``cls`` from a ``jsonable`` dict, strictly.
+
+    ``field_builders`` maps field names needing more than the raw JSON
+    value (nested dataclasses, enums) to a callable.  Unknown keys raise
+    :class:`TypeError` — a worker on a different code version must fail
+    visibly, not run a silently-defaulted config.
+    """
+    if not isinstance(payload, dict):
+        raise TypeError(
+            f"{cls.__name__} payload must be an object, "
+            f"got {type(payload).__name__}"
+        )
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise TypeError(
+            f"unknown {cls.__name__} field(s): {', '.join(unknown)}"
+        )
+    kwargs = {
+        name: field_builders.get(name, lambda v: v)(value)
+        for name, value in payload.items()
+    }
+    return cls(**kwargs)
+
+
+def config_from_payload(payload: dict) -> OptimizerConfig:
+    """The inverse of :func:`config_to_payload` (strict; see there)."""
+    from repro.core.consistency import ConsistencyConfig
+    from repro.core.privacy import PrivacyConfig
+    from repro.semirings.base import SemiringName
+
+    return _dataclass_from_payload(
+        OptimizerConfig, payload, {
+            "privacy": lambda value: _dataclass_from_payload(
+                PrivacyConfig, value, {
+                    "consistency": lambda sub: _dataclass_from_payload(
+                        ConsistencyConfig, sub,
+                        {"semiring": SemiringName},
+                    ),
+                },
+            ),
+        },
+    )
+
+
 def _traceback_summary(exc: BaseException, limit: int = 3) -> str:
     """The innermost frames of ``exc``'s traceback, compactly.
 

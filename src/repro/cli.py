@@ -16,6 +16,9 @@ Subcommands
 ``serve``           run the long-lived job service (``repro.service``);
                     ``--store PATH`` makes it durable and dedup-ing
 ``submit``          send jobs to a running service
+``worker``          join a ``--executor remote`` service's fleet: claim
+                    leased jobs over the v1 protocol, run them here,
+                    deliver lossless result payloads back
 ``poll``            poll job status/results or service stats
 ``jobs``            inspect or prune a persistent job store
                     (``list`` / ``show`` / ``gc``, see ``repro.store``)
@@ -363,6 +366,8 @@ def cmd_serve(args) -> int:
         engine=args.engine,
         trace=_tracing_requested(args),
         trace_path=args.trace_file,
+        lease_seconds=args.lease_seconds,
+        lease_attempts=args.lease_attempts,
     ).start()
     server = make_server(service, args.host, args.port, quiet=args.quiet)
     host, port = server.server_address[:2]
@@ -430,7 +435,7 @@ def cmd_submit(args) -> int:
         specs = _load_job_specs(args.jobs)
     else:
         specs = [_inline_spec_from_args(args)]
-    ids = client.submit(specs)
+    ids = client.submit_many(specs)
     print(f"submitted {len(ids)} job{'s' if len(ids) != 1 else ''}: "
           f"{', '.join(ids)}")
     if not args.wait:
@@ -449,6 +454,32 @@ def cmd_submit(args) -> int:
             handle.write(dumps(payloads))
         print(f"(written to {args.output})")
     return 0 if failures == 0 else 1
+
+
+def cmd_worker(args) -> int:
+    from repro.service.worker import FleetWorker
+
+    worker = FleetWorker(
+        args.server,
+        worker_id=args.id,
+        store_path=args.store,
+        poll_seconds=args.poll_interval,
+        idle_exit=args.idle_exit,
+        max_jobs=args.max_jobs,
+        startup_timeout=args.startup_timeout,
+        quiet=args.quiet,
+    )
+    try:
+        summary = worker.run()
+    except KeyboardInterrupt:
+        print(f"worker {worker.worker_id} interrupted")
+        return 0
+    print(
+        f"worker {summary['worker']} done: {summary['jobs_done']} ok, "
+        f"{summary['jobs_failed']} failed, "
+        f"{summary['leases_lost']} leases lost"
+    )
+    return 0
 
 
 def cmd_poll(args) -> int:
@@ -575,6 +606,9 @@ def cmd_scenarios_run(args) -> int:
         engine=args.engine,
         trace=_tracing_requested(args),
         trace_path=args.trace_file,
+        fleet_host=args.fleet_host,
+        fleet_port=args.fleet_port,
+        lease_seconds=args.lease_seconds,
     )
     for cell in snapshot["cells"]:
         marker = " (cached)" if cell["cache_hit"] else ""
@@ -835,6 +869,16 @@ def build_parser() -> argparse.ArgumentParser:
              "fans them out to a pool of --workers processes that "
              "share the --store result cache (scales to all cores)",
     )
+    p_serve.add_argument(
+        "--lease-seconds", type=float, default=15.0,
+        help="with --executor remote: how long a fleet worker may go "
+             "without a heartbeat before its job is requeued",
+    )
+    p_serve.add_argument(
+        "--lease-attempts", type=_positive_int, default=3,
+        help="with --executor remote: how many leases a job may lose "
+             "before it fails visibly",
+    )
     p_serve.add_argument("--queue-size", type=int, default=64,
                          help="pending-job bound; submissions beyond it "
                               "are rejected with HTTP 503")
@@ -883,6 +927,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--output",
                           help="with --wait: write result payloads here")
     p_submit.set_defaults(func=cmd_submit)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a remote-executor service's fleet and run leased jobs",
+    )
+    p_worker.add_argument("--server", required=True,
+                          help="service base URL, e.g. http://host:8765")
+    p_worker.add_argument("--id", default=None,
+                          help="worker id (default: hostname-pid); shows "
+                               "up in /v1/stats and per-worker metrics")
+    p_worker.add_argument("--store", default=None,
+                          help="shared result-cache file reachable from "
+                               "THIS host (consulted before searching, "
+                               "fresh results persisted)")
+    p_worker.add_argument("--poll-interval", type=float, default=0.5,
+                          help="seconds between claim attempts while idle")
+    p_worker.add_argument("--max-jobs", type=int, default=None,
+                          help="exit after this many jobs (default: run "
+                               "until killed)")
+    p_worker.add_argument("--idle-exit", type=float, default=None,
+                          help="exit after this many consecutive idle "
+                               "seconds (default: keep polling)")
+    p_worker.add_argument("--startup-timeout", type=float, default=30.0,
+                          help="how long to wait for the service to become "
+                               "healthy before giving up")
+    p_worker.add_argument("--quiet", action="store_true",
+                          help="suppress per-job log lines")
+    p_worker.set_defaults(func=cmd_worker)
 
     p_poll = sub.add_parser(
         "poll", help="poll job status/results or service stats",
@@ -961,6 +1033,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="persistent result-cache file: repeated cells "
                              "(this run or any earlier one) are served "
                              "from it instead of re-searching")
+    p_srun.add_argument("--fleet-host", default="127.0.0.1",
+                        help="with --executor remote: interface to serve "
+                             "the fleet endpoints on")
+    p_srun.add_argument("--fleet-port", type=int, default=None,
+                        help="with --executor remote (required there): "
+                             "port to serve the v1 protocol on so "
+                             "`repro worker` processes can claim cells")
+    p_srun.add_argument("--lease-seconds", type=float, default=15.0,
+                        help="with --executor remote: lease length before "
+                             "a silent worker's cell is requeued")
     p_srun.add_argument("--output", default="BENCH_scenarios.json",
                         help="snapshot file to write")
     _add_engine_flag(p_srun)

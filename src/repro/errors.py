@@ -47,6 +47,35 @@ class ServiceError(ReproError):
     """The job service rejected a request or could not be reached."""
 
 
+class RequestError(ServiceError):
+    """A wire request was malformed (bad JSON, wrong shape, missing
+    fields) — the v1 ``invalid_request`` error code."""
+
+
+class JobNotFoundError(ServiceError):
+    """The named job id is unknown to the service (v1 ``unknown_job``)."""
+
+
+class ResultNotReadyError(ServiceError):
+    """The job exists but is not terminal yet (v1 ``result_not_ready``)."""
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded queue rejected a submission (v1
+    ``queue_full``); poll for results and retry."""
+
+
+class LeaseLostError(ServiceError):
+    """A fleet worker acted on a job lease it no longer holds — the
+    lease expired and was requeued, or another worker owns it (v1
+    ``lease_lost``).  The worker must drop the job without completing."""
+
+
+class NotRemoteError(ServiceError):
+    """A worker endpoint was called on a service whose executor is not
+    ``remote`` (v1 ``not_remote``) — there is no fleet to join."""
+
+
 class ScenarioError(ReproError):
     """A scenario matrix or benchmark snapshot is malformed."""
 

@@ -10,6 +10,7 @@ DESIGN.md, "Substitutions").
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.seeding import DEFAULT_SEED
@@ -54,6 +55,40 @@ class ExperimentSettings:
     # 0/negative = one per CPU core).  Sweeps fan out per-(query, point)
     # jobs through repro.batch regardless; this only sets the pool size.
     batch_workers: int = 1
+
+    def to_payload(self) -> dict:
+        """A JSON-ready dict of every field (tuples become lists).
+
+        The fleet claim endpoint ships this so remote workers run under
+        exactly the service's settings — the settings participate in
+        ``job_content_hash``, so anything less would let a worker
+        compute (and cache) results for different inputs than the
+        service hashed.
+        """
+        payload = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            payload[f.name] = list(value) if isinstance(value, tuple) else value
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ExperimentSettings":
+        """Rebuild settings from :meth:`to_payload` output, losslessly.
+
+        Lists come back as tuples (JSON has no tuples); unknown fields
+        are rejected so a version-skewed worker fails loudly instead of
+        silently running under different settings.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown ExperimentSettings fields: {', '.join(unknown)}"
+            )
+        return cls(**{
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in payload.items()
+        })
 
 
 DEFAULT_SETTINGS = ExperimentSettings()

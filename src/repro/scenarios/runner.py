@@ -3,10 +3,17 @@
 :func:`run_matrix` is the whole harness: materialize the matrix into
 seeded inline jobs, submit them to an in-process
 :class:`~repro.service.server.JobService` on the chosen execution tier
-(``thread`` or ``process``), wait for the stream to drain, and fold the
-per-cell outcomes into one ``BENCH_scenarios.json``-shaped snapshot
-(see :mod:`repro.scenarios.snapshot` for the schema and which fields
-are identity vs. trajectory).
+(``thread``, ``process``, or ``remote``), wait for the stream to
+drain, and fold the per-cell outcomes into one
+``BENCH_scenarios.json``-shaped snapshot (see
+:mod:`repro.scenarios.snapshot` for the schema and which fields are
+identity vs. trajectory).
+
+The ``remote`` tier needs a fleet to execute: ``fleet_port`` exposes
+the in-process service over HTTP (a daemon serving thread) so that
+``repro worker`` processes — on this host or others — can claim the
+leased cells over the v1 wire protocol.  Everything else (snapshot
+shape, hashes, cache behavior) is tier-independent by construction.
 
 With a persistent store attached the run dedups against everything the
 store has ever seen: repeated cells — in this run, a previous run, or a
@@ -16,6 +23,7 @@ whose payload (timing included) is the original run's.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Optional
 
@@ -41,6 +49,9 @@ def run_matrix(
     engine: str = "naive",
     trace: bool = False,
     trace_path: Optional[str] = None,
+    fleet_host: str = "127.0.0.1",
+    fleet_port: Optional[int] = None,
+    lease_seconds: float = 15.0,
 ) -> dict:
     """Run every cell of ``matrix`` and return the snapshot dict.
 
@@ -58,10 +69,20 @@ def run_matrix(
     ``trace`` turns on per-job span tracing (``trace_path`` also streams
     one ``repro-trace-v1`` line per job); traces live in the VOLATILE
     tier, so result hashes are identical with tracing on or off.
+
+    ``executor="remote"`` requires ``fleet_port``: the service is
+    served over HTTP on ``fleet_host:fleet_port`` for the run's
+    duration so fleet workers can claim the cells; ``lease_seconds``
+    tunes how fast a dead worker's cells are requeued.
     """
     from repro.experiments.settings import DEFAULT_SETTINGS
 
     matrix.validate()
+    if executor == "remote" and fleet_port is None:
+        raise ScenarioError(
+            "executor 'remote' needs fleet_port: the run must expose the "
+            "service over HTTP for `repro worker` processes to claim from"
+        )
     settings = settings or DEFAULT_SETTINGS
     jobs = materialize(matrix, seed, engine=engine)
     store = JobStore(store_path) if store_path else None
@@ -74,11 +95,24 @@ def run_matrix(
         engine=engine,
         trace=trace,
         trace_path=trace_path,
+        lease_seconds=lease_seconds,
     )
     # Snapshot timestamp (wall, display-only) vs. run duration (perf).
     started = time.time()
     wall_t0 = clock.perf_counter()
     service.start()
+    server = None
+    serve_thread = None
+    if fleet_port is not None:
+        from repro.service.server import make_server
+
+        server = make_server(service, fleet_host, fleet_port, quiet=True)
+        serve_thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-scenarios-fleet-server",
+            daemon=True,
+        )
+        serve_thread.start()
     try:
         ids = [(cell, job, service.submit(job)) for cell, job in jobs]
         cells = [
@@ -86,6 +120,11 @@ def run_matrix(
             for cell, job, job_id in ids
         ]
     finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+            if serve_thread is not None:
+                serve_thread.join(timeout=5.0)
         service.shutdown()
         if store is not None:
             store.close()

@@ -1,14 +1,17 @@
 """Long-lived job service over :mod:`repro.batch`.
 
-``repro serve`` starts an HTTP+JSON server whose workers keep the
+``repro serve`` starts an HTTP+JSON server — speaking the versioned v1
+wire protocol (:mod:`repro.service.protocol`) — whose workers keep the
 per-process context and privacy-session caches warm across requests;
-``repro submit`` / ``repro poll`` (backed by :class:`ServiceClient`) feed
-it job streams.  Execution is pluggable: the ``thread`` backend runs
-searches in-process, the ``process`` backend fans them out to a process
-pool (``--executor process --workers N``) so one service saturates all
-cores while the shared store keeps dedup global.  See
-``docs/PERFORMANCE.md`` ("Job service" / "Service scale-out") for the
-endpoints, the reuse counters, and when to pick which backend.
+``repro submit`` / ``repro poll`` (backed by :class:`ServiceClient`)
+feed it job streams.  Execution is pluggable: the ``thread`` backend
+runs searches in-process, the ``process`` backend fans them out to a
+process pool (``--executor process --workers N``) so one service
+saturates all cores, and the ``remote`` backend leases jobs to a fleet
+of ``repro worker`` processes on other hosts
+(:mod:`repro.service.fleet`) — as much hardware as you want.  See
+``docs/PROTOCOL.md`` for the wire contract and ``docs/PERFORMANCE.md``
+("Job service" / "Service scale-out") for when to pick which backend.
 """
 
 from repro.service.client import ServiceClient
@@ -30,6 +33,7 @@ from repro.service.state import (
     JOB_FAILED,
     JOB_QUEUED,
     JOB_RUNNING,
+    LOCAL_EXECUTOR_NAMES,
     TERMINAL_STATES,
     JobRecord,
 )
@@ -41,6 +45,7 @@ __all__ = [
     "JOB_FAILED",
     "JOB_QUEUED",
     "JOB_RUNNING",
+    "LOCAL_EXECUTOR_NAMES",
     "TERMINAL_STATES",
     "ExecutorBackend",
     "JobRecord",

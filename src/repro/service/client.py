@@ -1,10 +1,17 @@
-"""A small HTTP client for the job service.
+"""A small HTTP client for the job service's v1 wire protocol.
 
-Used by the ``repro submit`` / ``repro poll`` CLI subcommands and the
-tests; stdlib-only (``urllib``).  Every failure — unreachable server,
-HTTP error status, malformed body — surfaces as
-:class:`repro.errors.ServiceError` so CLI callers map it to exit code 2
-like any other library error.
+Used by the ``repro submit`` / ``repro poll`` / ``repro worker`` CLI
+subcommands and the tests; stdlib-only (``urllib``).  The client speaks
+only versioned ``/v1/...`` paths (:mod:`repro.service.protocol`).
+
+Failures surface as *typed* exceptions: an error response's envelope
+code is mapped through
+:data:`repro.service.protocol.EXCEPTION_FOR_CODE`, so callers can catch
+:class:`~repro.errors.JobNotFoundError`,
+:class:`~repro.errors.QueueFullError`,
+:class:`~repro.errors.LeaseLostError`, ... individually — all of them
+subclasses of :class:`repro.errors.ServiceError`, which CLI callers
+still map to exit code 2 like any other library error.
 """
 
 from __future__ import annotations
@@ -13,10 +20,12 @@ import json
 import time
 import urllib.error
 import urllib.request
+import warnings
 from typing import Sequence
 
 from repro.errors import ServiceError
 from repro.obs import clock
+from repro.service.protocol import API_PREFIX, EXCEPTION_FOR_CODE
 from repro.service.state import JOB_CANCELLED, TERMINAL_STATES
 
 
@@ -49,14 +58,42 @@ class ServiceClient:
     def base_url(self) -> str:
         return self._base
 
+    def _raise_http_error(
+        self, method: str, path: str, exc: urllib.error.HTTPError
+    ) -> None:
+        """Map an HTTP error onto a typed exception via the envelope.
+
+        A non-envelope body (a proxy's HTML error page, a pre-v1
+        server) degrades to plain :class:`ServiceError` with the raw
+        text, so the failure is never swallowed.
+        """
+        raw = exc.read().decode(errors="replace")
+        code = None
+        message = raw or str(exc.reason)
+        try:
+            envelope = json.loads(raw)
+            error = envelope.get("error")
+            if isinstance(error, dict):
+                code = error.get("code")
+                message = error.get("message", message)
+        except (json.JSONDecodeError, AttributeError):
+            pass
+        exc_type = EXCEPTION_FOR_CODE.get(code, ServiceError)
+        label = f" {code}" if code else ""
+        raise exc_type(
+            f"{method} {path} failed ({exc.code}{label}): {message}"
+        ) from None
+
     def _request(self, method: str, path: str, payload=None) -> dict:
+        """One v1 request; ``path`` is relative to :data:`API_PREFIX`."""
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
-            self._base + path, data=data, headers=headers, method=method
+            self._base + API_PREFIX + path,
+            data=data, headers=headers, method=method,
         )
         for attempt in range(self._connect_retries + 1):
             try:
@@ -66,14 +103,7 @@ class ServiceClient:
                     body = resp.read().decode()
                 break
             except urllib.error.HTTPError as exc:
-                raw = exc.read().decode(errors="replace")
-                try:
-                    message = json.loads(raw).get("error", raw)
-                except (json.JSONDecodeError, AttributeError):
-                    message = raw or exc.reason
-                raise ServiceError(
-                    f"{method} {path} failed ({exc.code}): {message}"
-                ) from None
+                self._raise_http_error(method, path, exc)
             except urllib.error.URLError as exc:
                 # Retry only a refused connection: that alone guarantees
                 # the request never reached the server.  A reset or
@@ -97,22 +127,35 @@ class ServiceClient:
 
     # -- endpoints ---------------------------------------------------------
 
+    def catalog(self) -> dict:
+        """The machine-readable route catalog (``GET /v1/``)."""
+        return self._request("GET", "/")
+
     def health(self) -> dict:
         return self._request("GET", "/healthz")
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 
-    def submit(self, specs: "Sequence[dict] | dict") -> list[str]:
-        """Submit job specs (named or inline); returns the job ids.
+    def submit(self, spec: dict) -> str:
+        """Submit one job spec (named or inline); returns its job id.
 
-        Accepts one spec dict or a sequence of them — the single-job
-        case is common enough (smoke scripts, notebooks) that forcing a
-        one-element list on every caller just invites the "iterating a
-        dict submits its keys" mistake.
+        Passing a sequence here is the deprecated pre-v1 calling
+        convention — it still works (returning a *list* of ids) but
+        warns; use :meth:`submit_many`.
         """
-        if isinstance(specs, dict):
-            specs = [specs]
+        if not isinstance(spec, dict):
+            warnings.warn(
+                "ServiceClient.submit(sequence) is deprecated; use "
+                "submit_many(specs) for batches",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.submit_many(spec)  # type: ignore[return-value]
+        return self.submit_many([spec])[0]
+
+    def submit_many(self, specs: Sequence[dict]) -> list[str]:
+        """Submit job specs; returns the job ids in submission order."""
         return self._request("POST", "/jobs", payload=list(specs))["ids"]
 
     def list_jobs(self) -> list[dict]:
@@ -126,6 +169,33 @@ class ServiceClient:
 
     def cancel(self, job_id: str) -> bool:
         return self._request("POST", f"/jobs/{job_id}/cancel")["cancelled"]
+
+    # -- fleet-worker endpoints (remote executor only) ---------------------
+
+    def worker_claim(self, worker_id: str) -> dict:
+        """Claim the next leased job; ``{"job": None}`` when idle."""
+        return self._request(
+            "POST", "/workers/claim", payload={"worker": worker_id}
+        )
+
+    def worker_heartbeat(self, worker_id: str, job_id: str) -> dict:
+        """Extend the lease on ``job_id``; raises
+        :class:`~repro.errors.LeaseLostError` once it is gone."""
+        return self._request(
+            "POST", "/workers/heartbeat",
+            payload={"worker": worker_id, "id": job_id},
+        )
+
+    def worker_complete(
+        self, worker_id: str, job_id: str, payload: dict
+    ) -> dict:
+        """Deliver a finished job's lossless result payload."""
+        return self._request(
+            "POST", "/workers/complete",
+            payload={"worker": worker_id, "id": job_id, "payload": payload},
+        )
+
+    # -- polling helpers ---------------------------------------------------
 
     def wait(
         self,
@@ -169,7 +239,7 @@ class ServiceClient:
     def wait_until_healthy(
         self, timeout: float = 30.0, interval: float = 0.2
     ) -> None:
-        """Block until ``/healthz`` answers (server startup helper)."""
+        """Block until ``/v1/healthz`` answers (server startup helper)."""
         deadline = clock.monotonic() + timeout
         while True:
             try:

@@ -57,19 +57,24 @@ class ExecutorBackend:
     ``run`` is called from (possibly many) service worker threads and
     must be thread-safe; it returns a :class:`BatchJobResult` and never
     raises for job-level failures (those land in ``result.error``).
+    ``job_id`` is the service's id for the job — local backends ignore
+    it, the remote backend leases it to fleet workers under that id.
     ``manages_store`` tells the service whether this backend already
     consults/persists the shared result cache itself, so the service
-    does not double-write fresh results.
+    does not double-write fresh results.  ``is_remote`` gates the
+    ``/v1/workers/*`` endpoints: only a fleet-facing backend serves
+    claim/heartbeat/complete traffic.
     """
 
     name = "?"
     manages_store = False
+    is_remote = False
 
     def start(self) -> "ExecutorBackend":
         """Bring up any execution resources (idempotent)."""
         return self
 
-    def run(self, job, settings) -> BatchJobResult:
+    def run(self, job, settings, job_id=None) -> BatchJobResult:
         raise NotImplementedError
 
     def shutdown(self) -> None:
@@ -87,7 +92,7 @@ class ThreadBackend(ExecutorBackend):
     name = "thread"
     manages_store = False
 
-    def run(self, job, settings) -> BatchJobResult:
+    def run(self, job, settings, job_id=None) -> BatchJobResult:
         return run_job(job, settings)
 
 
@@ -181,7 +186,7 @@ class ProcessPoolBackend(ExecutorBackend):
                 self._pools_replaced += 1
         pool.shutdown(wait=False, cancel_futures=True)
 
-    def run(self, job, settings) -> BatchJobResult:
+    def run(self, job, settings, job_id=None) -> BatchJobResult:
         last_error = None
         for attempt in range(2):
             pool = self._ensure_pool()
@@ -223,18 +228,34 @@ def make_backend(
     executor: str,
     workers: int = 1,
     store_path: Optional[str] = None,
+    *,
+    lease_seconds: float = 15.0,
+    lease_attempts: int = 3,
+    store=None,
 ) -> ExecutorBackend:
     """Build the named backend; unknown names raise :class:`ServiceError`.
 
     ``workers`` sizes the process pool (thread execution is sized by the
     service's worker threads directly); ``store_path`` is forwarded to
     pool workers only — it must be a path other processes can open, so
-    callers pass ``None`` for in-memory stores.
+    callers pass ``None`` for in-memory stores.  The lease knobs and
+    ``store`` (the service's own :class:`~repro.store.JobStore`, for
+    lease audit rows) apply to the ``remote`` backend only.
     """
     if executor == "thread":
         return ThreadBackend()
     if executor == "process":
         return ProcessPoolBackend(workers=workers, store_path=store_path)
+    if executor == "remote":
+        # Imported here, not at module top: fleet.py subclasses
+        # ExecutorBackend from this module.
+        from repro.service.fleet import RemoteBackend
+
+        return RemoteBackend(
+            lease_seconds=lease_seconds,
+            max_attempts=lease_attempts,
+            store=store,
+        )
     raise ServiceError(
         f"unknown executor {executor!r} "
         f"(choose from: {', '.join(EXECUTOR_NAMES)})"

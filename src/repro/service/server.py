@@ -20,21 +20,38 @@ pure-CPU search then scales to the cores while every service behavior
 around it (queueing, cancellation, timeout clamps, backpressure,
 durability, stats) is backend-independent.
 
-Endpoints (all JSON):
+The HTTP surface is the versioned v1 wire protocol defined (as data) in
+:mod:`repro.service.protocol` — ``GET /v1/`` serves the machine-readable
+route catalog, every error is one ``{"error": {"code", "message",
+"detail"}}`` envelope, and legacy unversioned paths answer identically
+for one release with a ``Deprecation`` header:
 
-================================  =============================================
-``POST /jobs``                    submit one spec or a list (named-workload or
-                                  inline-context, see ``job_from_spec``);
-                                  returns ``{"ids": [...]}``; 400 on a bad
-                                  spec, 503 when the queue is full
-``GET /jobs``                     status summaries of every known job
-``GET /jobs/<id>``                one job's status summary
-``GET /jobs/<id>/result``         full result once terminal, else 409
-``POST /jobs/<id>/cancel``        cancel a still-queued job
-``GET /stats``                    queue depth + aggregate counters, including
-                                  ``sessions_reused``
-``GET /healthz``                  liveness probe
-================================  =============================================
+====================================  =========================================
+``GET  /v1/``                         the route catalog (the whole contract)
+``POST /v1/jobs``                     submit one spec or a list (named-workload
+                                      or inline-context, ``job_from_spec``);
+                                      returns ``{"ids": [...]}``;
+                                      ``invalid_job_spec`` on a bad spec,
+                                      ``queue_full`` when the queue is full
+``GET  /v1/jobs``                     status summaries of every known job
+``GET  /v1/jobs/<id>``                one job's status summary
+``GET  /v1/jobs/<id>/result``         full result once terminal, else
+                                      ``result_not_ready``
+``POST /v1/jobs/<id>/cancel``         cancel a still-queued job
+``GET  /v1/stats``                    queue depth + aggregate counters (and the
+                                      ``fleet`` section on a remote service)
+``GET  /v1/metrics``                  Prometheus text exposition
+``GET  /v1/healthz``                  liveness probe
+``POST /v1/workers/claim``            fleet worker claims a leased job
+``POST /v1/workers/heartbeat``        fleet worker extends its lease
+``POST /v1/workers/complete``         fleet worker delivers a result payload
+====================================  =========================================
+
+The ``/v1/workers/*`` endpoints exist only on a ``--executor remote``
+service (``not_remote`` elsewhere) and only under ``/v1/`` — there is no
+legacy fleet traffic to stay compatible with.  See
+:mod:`repro.service.fleet` for the lease state machine and
+``docs/PROTOCOL.md`` for the full wire contract.
 
 Per-job timeouts: a service-level ``job_timeout`` clamps every job's
 ``max_seconds`` budget (the search returns its best-so-far when it
@@ -67,10 +84,20 @@ from typing import Optional, Sequence
 from repro.batch.jobs import BatchJobResult, job_from_spec, job_to_spec
 from repro.core.optimizer import OptimizerConfig
 from repro.engine import DEFAULT_ENGINE
-from repro.errors import JobSpecError, ServiceError
+from repro.errors import (
+    JobNotFoundError,
+    JobSpecError,
+    NotRemoteError,
+    QueueFullError,
+    ReproError,
+    RequestError,
+    ResultNotReadyError,
+    ServiceError,
+)
 from repro.experiments.settings import DEFAULT_SETTINGS, ExperimentSettings
 from repro.obs import clock, metrics
 from repro.obs.trace import TraceWriter, trace_record
+from repro.service import protocol
 from repro.service.executors import make_backend
 from repro.service.state import (
     JOB_CANCELLED,
@@ -124,6 +151,11 @@ class JobService:
     pool sized to the worker-thread count, scaling the pure-CPU search
     to the hardware while queueing, cancellation, timeouts,
     backpressure, recovery, and ``/stats`` behave identically.
+    ``"remote"`` executes nothing locally: each claimed job is offered
+    to the worker fleet (:mod:`repro.service.fleet`) under a
+    ``lease_seconds`` lease, retried up to ``lease_attempts`` claims —
+    so ``worker_threads`` bounds the number of *in-flight leases*, and
+    should be at least the expected fleet size.
     """
 
     def __init__(
@@ -137,6 +169,8 @@ class JobService:
         engine: str = "naive",
         trace: bool = False,
         trace_path: Optional[str] = None,
+        lease_seconds: float = 15.0,
+        lease_attempts: int = 3,
     ):
         from repro.engine import get_engine
 
@@ -221,6 +255,26 @@ class JobService:
             "Constant 1; the labels carry the service configuration.",
             labelnames=("executor", "engine", "workers"),
         )
+        # Fleet instruments (flat until a remote backend feeds them; the
+        # worker label stays bounded — one series per fleet worker id).
+        self._m_worker_jobs = self._smetrics.counter(
+            "repro_service_worker_jobs_total",
+            "Jobs delivered by fleet workers, by worker id and outcome.",
+            labelnames=("worker", "outcome"),
+        )
+        self._m_lease_requeues = self._smetrics.counter(
+            "repro_service_lease_requeues_total",
+            "Fleet leases that expired (worker went silent) and were "
+            "requeued or, attempts exhausted, failed.",
+        )
+        self._m_claim_wait = self._smetrics.histogram(
+            "repro_service_claim_wait_seconds",
+            "Time a fleet job waited from offer to worker claim.",
+        )
+        self._g_fleet_workers = self._smetrics.gauge(
+            "repro_service_fleet_workers_live",
+            "Fleet workers seen within the liveness window.",
+        )
         # Aggregates over completed jobs (mirrors BatchStats' reuse/effort
         # counters, accumulated as the stream drains).
         self._job_seconds = 0.0
@@ -239,7 +293,18 @@ class JobService:
             executor,
             workers=max(1, self._worker_threads),
             store_path=shareable_store_path(store),
+            lease_seconds=lease_seconds,
+            lease_attempts=lease_attempts,
+            store=store,
         )
+        if self._backend.is_remote:
+            self._backend.bind_metrics(
+                worker_jobs=self._m_worker_jobs,
+                requeues=self._m_lease_requeues,
+                claim_wait=self._m_claim_wait,
+                store_errors=self._m_store_errors,
+                workers_gauge=self._g_fleet_workers,
+            )
         self._g_info.set(
             1,
             executor=self._backend.name,
@@ -407,6 +472,14 @@ class JobService:
                     self._persist_state(
                         stored.job_id, JOB_QUEUED, clear_started_at=True
                     )
+                    # A lease held when the previous service died is
+                    # stale by definition — the new backend knows
+                    # nothing of it; requeueing clears the audit row.
+                    if stored.lease_worker is not None:
+                        try:
+                            self._store.clear_lease(stored.job_id)
+                        except sqlite3.Error:
+                            self._m_store_errors.inc()
                     self._queue.put(stored.job_id)
                     self._requeued_jobs += 1
             elif stored.state == JOB_DONE:
@@ -436,10 +509,10 @@ class JobService:
     # -- submission --------------------------------------------------------
 
     def submit(self, job) -> str:
-        """Enqueue one built job; raises :class:`ServiceError` when full."""
+        """Enqueue one built job; raises :class:`QueueFullError` when full."""
         with self._lock:
             if 0 < self._max_queue <= self._queued_count():
-                raise ServiceError(
+                raise QueueFullError(
                     f"job queue is full ({self._max_queue} pending); "
                     f"poll for results and retry"
                 )
@@ -472,7 +545,9 @@ class JobService:
             for job in jobs:
                 ids.append(self.submit(job))
         except ServiceError as exc:
-            raise ServiceError(
+            # Re-raise as the same type: the wire error code (e.g.
+            # queue_full) must survive the batch-context wrapping.
+            raise type(exc)(
                 f"{exc} (accepted {len(ids)} of {len(jobs)} jobs"
                 f"{': ' + ', '.join(ids) if ids else ''})"
             ) from None
@@ -533,7 +608,34 @@ class JobService:
         self._persist_state(job_id, JOB_CANCELLED, finished_at=finished_at)
         return True
 
+    # -- fleet (remote executor only) --------------------------------------
+
+    def _remote_backend(self):
+        """The fleet backend, or :class:`NotRemoteError` — the worker
+        endpoints only exist on a ``--executor remote`` service."""
+        if not self._backend.is_remote:
+            raise NotRemoteError(
+                f"this service runs executor {self._backend.name!r}; "
+                f"the worker endpoints need a service started with "
+                f"--executor remote"
+            )
+        return self._backend
+
+    def worker_claim(self, worker_id) -> dict:
+        return self._remote_backend().claim(worker_id)
+
+    def worker_heartbeat(self, worker_id, job_id) -> dict:
+        return self._remote_backend().heartbeat(worker_id, job_id)
+
+    def worker_complete(self, worker_id, job_id, payload) -> dict:
+        return self._remote_backend().complete(worker_id, job_id, payload)
+
     def stats_payload(self) -> dict:
+        # Fleet stats come from the backend's own lock, taken *before*
+        # the service lock (never nested inside it).
+        fleet = (
+            self._backend.fleet_stats() if self._backend.is_remote else None
+        )
         # The store read happens before taking the service lock: a
         # contended SQLite file (a concurrent batch-optimize writer) may
         # block up to its busy timeout, and that wait must not freeze
@@ -548,7 +650,7 @@ class JobService:
         store_errors = int(self._m_store_errors.value())
         with self._lock:
             states = [r.state for r in self._records.values()]
-            return {
+            payload = {
                 "uptime_seconds": clock.monotonic() - self._started_monotonic,
                 "executor": self._backend.name,
                 "engine": self._engine,
@@ -581,6 +683,9 @@ class JobService:
                 "jobs_recovered": self._recovered_jobs,
                 "jobs_requeued": self._requeued_jobs,
             }
+        if fleet is not None:
+            payload["fleet"] = fleet
+        return payload
 
     def metrics_text(self) -> str:
         """The Prometheus exposition document behind ``GET /metrics``.
@@ -698,11 +803,20 @@ class JobService:
         if self._cache is not None:
             result = self._cache.lookup(effective, self._settings)
         if result is None:
-            result = self._backend.run(effective, self._settings)
+            result = self._backend.run(
+                effective, self._settings, job_id=job_id
+            )
             if self._cache is not None and not self._backend.manages_store:
                 self._cache.store_result(effective, self._settings, result)
+        # Which fleet worker delivered (remote only); fetched before the
+        # service lock — worker_of takes the backend's own lock.
+        worker = (
+            self._backend.worker_of(job_id)
+            if self._backend.is_remote else None
+        )
         with self._lock:
             record.result = result
+            record.worker = worker
             record.finished_at = time.time()
             record.state = JOB_DONE if result.ok else JOB_FAILED
             if result.cache_hit:
@@ -764,11 +878,23 @@ class JobService:
 
 
 class JobServiceHandler(BaseHTTPRequestHandler):
-    """Routes HTTP requests onto a bound :class:`JobService`."""
+    """Routes HTTP requests onto a bound :class:`JobService`.
+
+    Both the versioned ``/v1/...`` paths and the legacy unversioned
+    ones dispatch to the same logic with the same bodies; legacy
+    responses additionally carry ``Deprecation: true`` plus a ``Link``
+    header naming the v1 successor, and will be removed one release
+    after the v1 surface shipped.  Errors — library exceptions and
+    unexpected ones alike — leave as the unified envelope via
+    :func:`repro.service.protocol.error_response`.
+    """
 
     service: JobService  # bound by make_server
     quiet = True
     server_version = "repro-service/1.0"
+    #: Whether the *current* request came in on a legacy path (set per
+    #: request in ``_dispatch``; class default covers early failures).
+    _deprecated = False
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if not self.quiet:
@@ -777,78 +903,162 @@ class JobServiceHandler(BaseHTTPRequestHandler):
     def _parts(self) -> list[str]:
         return [p for p in self.path.split("?", 1)[0].split("/") if p]
 
+    def _send_headers(self, code: int, length: int, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(length))
+        if self._deprecated:
+            successor = protocol.API_PREFIX + self.path
+            self.send_header("Deprecation", "true")
+            self.send_header(
+                "Link", f'<{successor}>; rel="successor-version"'
+            )
+        self.end_headers()
+
     def _send(self, code: int, payload: dict) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
+        self._send_headers(code, len(body), "application/json")
         self.wfile.write(body)
 
     def _send_text(self, code: int, body: str, content_type: str) -> None:
         data = body.encode("utf-8")
-        self.send_response(code)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
+        self._send_headers(code, len(data), content_type)
         self.wfile.write(data)
+
+    def _fail(self, exc: BaseException, detail: Optional[dict] = None) -> None:
+        code, payload = protocol.error_response(exc, detail)
+        self._send(code, payload)
+
+    def _fail_path(self, method: str) -> None:
+        code, _ = protocol.ERROR_CODES["unknown_path"]
+        self._send(code, protocol.error_payload(
+            "unknown_path", f"no route for {method} {self.path!r}"
+        ))
 
     def _read_json(self):
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
         return json.loads(raw) if raw else None
 
+    def _read_object(self) -> dict:
+        data = self._read_json()
+        if not isinstance(data, dict):
+            raise RequestError("this endpoint expects a JSON object body")
+        return data
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        parts = self._parts()
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        raw_parts = self._parts()
+        versioned = bool(raw_parts) and raw_parts[0] == "v1"
+        parts = raw_parts[1:] if versioned else raw_parts
+        self._deprecated = not versioned
         try:
+            if not self._route(method, parts, versioned):
+                self._fail_path(method)
+        except KeyError:
+            job_id = parts[1] if len(parts) > 1 else "?"
+            self._fail(JobNotFoundError(f"unknown job {job_id!r}"))
+        except json.JSONDecodeError as exc:
+            self._fail(RequestError(f"malformed JSON body: {exc}"))
+        except ReproError as exc:
+            self._fail(exc)
+        except (BrokenPipeError, ConnectionResetError):
+            raise  # the client is gone; there is nobody to answer
+        except Exception as exc:  # noqa: BLE001 - envelope over HTML 500
+            self._fail(exc)
+
+    def _route(self, method: str, parts: list[str], versioned: bool) -> bool:
+        """Serve one request; ``False`` means no route matched."""
+        if method == "GET":
+            if not parts:
+                # The catalog is v1-born: the legacy surface never had
+                # a root route, so none goes deprecated.
+                if versioned:
+                    self._send(200, protocol.catalog_payload())
+                    return True
+                return False
             if parts == ["healthz"]:
                 self._send(200, {"ok": True})
-            elif parts == ["stats"]:
+                return True
+            if parts == ["stats"]:
                 self._send(200, self.service.stats_payload())
-            elif parts == ["metrics"]:
+                return True
+            if parts == ["metrics"]:
                 self._send_text(
                     200, self.service.metrics_text(), metrics.CONTENT_TYPE
                 )
-            elif parts == ["jobs"]:
+                return True
+            if parts == ["jobs"]:
                 self._send(200, {"jobs": self.service.list_payload()})
-            elif len(parts) == 2 and parts[0] == "jobs":
+                return True
+            if len(parts) == 2 and parts[0] == "jobs":
                 self._send(200, self.service.status_payload(parts[1]))
-            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                return True
+            if (len(parts) == 3 and parts[0] == "jobs"
+                    and parts[2] == "result"):
                 code, payload = self.service.result_payload(parts[1])
-                self._send(code, payload)
-            else:
-                self._send(404, {"error": f"unknown path {self.path!r}"})
-        except KeyError:
-            self._send(404, {"error": f"unknown job {parts[1]!r}"})
-
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        parts = self._parts()
-        try:
+                if code != 200:
+                    self._fail(
+                        ResultNotReadyError(
+                            f"job {parts[1]} is {payload['state']}; "
+                            f"the result exists once it is terminal"
+                        ),
+                        detail=payload,
+                    )
+                else:
+                    self._send(200, payload)
+                return True
+            return False
+        if method == "POST":
             if parts == ["jobs"]:
                 data = self._read_json()
                 if isinstance(data, dict) and "jobs" in data:
                     data = data["jobs"]
                 specs = [data] if isinstance(data, dict) else data
                 if not isinstance(specs, list) or not specs:
-                    self._send(400, {
-                        "error": "POST /jobs expects a job spec object "
-                                 "or a non-empty list of specs",
-                    })
-                    return
+                    raise RequestError(
+                        "POST /v1/jobs expects a job spec object or a "
+                        "non-empty list of specs"
+                    )
                 self._send(200, {"ids": self.service.submit_specs(specs)})
-            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                return True
+            if (len(parts) == 3 and parts[0] == "jobs"
+                    and parts[2] == "cancel"):
                 cancelled = self.service.cancel(parts[1])
                 self._send(200, {"id": parts[1], "cancelled": cancelled})
-            else:
-                self._send(404, {"error": f"unknown path {self.path!r}"})
-        except KeyError:
-            self._send(404, {"error": f"unknown job {parts[1]!r}"})
-        except json.JSONDecodeError as exc:
-            self._send(400, {"error": f"malformed JSON body: {exc}"})
-        except JobSpecError as exc:
-            self._send(400, {"error": str(exc)})
-        except ServiceError as exc:
-            self._send(503, {"error": str(exc)})
+                return True
+            if len(parts) == 2 and parts[0] == "workers":
+                # Fleet endpoints are v1-only: they were born versioned,
+                # so no legacy spelling exists to deprecate.
+                if not versioned:
+                    return False
+                return self._route_worker(parts[1])
+            return False
+        return False
+
+    def _route_worker(self, action: str) -> bool:
+        if action == "claim":
+            data = self._read_object()
+            self._send(200, self.service.worker_claim(data.get("worker")))
+            return True
+        if action == "heartbeat":
+            data = self._read_object()
+            self._send(200, self.service.worker_heartbeat(
+                data.get("worker"), data.get("id")
+            ))
+            return True
+        if action == "complete":
+            data = self._read_object()
+            self._send(200, self.service.worker_complete(
+                data.get("worker"), data.get("id"), data.get("payload")
+            ))
+            return True
+        return False
 
 
 def make_server(

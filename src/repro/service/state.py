@@ -20,11 +20,17 @@ JOB_CANCELLED = "cancelled"
 #: States a job can never leave.
 TERMINAL_STATES = frozenset({JOB_DONE, JOB_FAILED, JOB_CANCELLED})
 
+#: Backends that execute jobs with resources of this process (threads
+#: or a local process pool) — the tiers that need no external workers.
+LOCAL_EXECUTOR_NAMES = ("thread", "process")
+
 #: The execution backends ``repro serve --executor`` accepts, in the
 #: order the CLI advertises them.  Lives here (not in
 #: :mod:`repro.service.executors`) so the CLI parser can name the
 #: choices without importing the optimizer stack behind the backends.
-EXECUTOR_NAMES = ("thread", "process")
+#: ``remote`` runs nothing locally: jobs wait for fleet workers
+#: (``repro worker``) to claim them over HTTP.
+EXECUTOR_NAMES = (*LOCAL_EXECUTOR_NAMES, "remote")
 
 
 @dataclass
@@ -44,10 +50,14 @@ class JobRecord:
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
-    #: Which execution backend claimed the job ("thread"/"process");
-    #: ``None`` until it leaves the queue.  Mixed deployments (a thread
-    #: service and a process service sharing one store) stay auditable.
+    #: Which execution backend claimed the job
+    #: ("thread"/"process"/"remote"); ``None`` until it leaves the
+    #: queue.  Mixed deployments (a thread service and a process service
+    #: sharing one store) stay auditable.
     executor: Optional[str] = None
+    #: On the remote tier: the fleet worker id that completed the job
+    #: (``None`` elsewhere, and until a worker delivers).
+    worker: Optional[str] = None
 
     def status_payload(self) -> dict:
         """The JSON-ready status summary (no heavy result fields)."""
@@ -55,6 +65,7 @@ class JobRecord:
             "id": self.job_id,
             "state": self.state,
             "executor": self.executor,
+            "worker": self.worker,
             "query_name": self.job.query_name,
             "threshold": self.job.threshold,
             "tag": self.job.tag,

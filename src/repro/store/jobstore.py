@@ -65,15 +65,18 @@ class _timed:
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
-    job_id       TEXT PRIMARY KEY,
-    seq          INTEGER NOT NULL,
-    content_hash TEXT NOT NULL,
-    spec         TEXT NOT NULL,
-    state        TEXT NOT NULL,
-    error        TEXT,
-    submitted_at REAL NOT NULL,
-    started_at   REAL,
-    finished_at  REAL
+    job_id           TEXT PRIMARY KEY,
+    seq              INTEGER NOT NULL,
+    content_hash     TEXT NOT NULL,
+    spec             TEXT NOT NULL,
+    state            TEXT NOT NULL,
+    error            TEXT,
+    submitted_at     REAL NOT NULL,
+    started_at       REAL,
+    finished_at      REAL,
+    lease_worker     TEXT,
+    lease_expires_at REAL,
+    attempts         INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state);
 CREATE INDEX IF NOT EXISTS jobs_hash ON jobs (content_hash);
@@ -100,6 +103,12 @@ class StoredJob:
     submitted_at: float
     started_at: Optional[float]
     finished_at: Optional[float]
+    #: Fleet lease bookkeeping (remote executor only): the worker id
+    #: holding the lease, its wall-clock expiry, and how many times the
+    #: job has been claimed (requeues after lost leases included).
+    lease_worker: Optional[str] = None
+    lease_expires_at: Optional[float] = None
+    attempts: int = 0
 
     @property
     def label(self) -> str:
@@ -125,6 +134,7 @@ class JobStore:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.executescript(_SCHEMA)
+            self._migrate()
             self._conn.commit()
         except sqlite3.Error as exc:
             conn = getattr(self, "_conn", None)
@@ -133,6 +143,28 @@ class JobStore:
             raise ServiceError(
                 f"cannot open job store {self._path!r}: {exc}"
             ) from None
+
+    def _migrate(self) -> None:
+        """Bring a pre-fleet store file up to the current schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves an existing ``jobs`` table
+        untouched, so the lease columns (added for the remote-executor
+        fleet) are retrofitted with ``ALTER TABLE`` — additive and
+        nullable, so old code reading a migrated file keeps working.
+        """
+        columns = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(jobs)")
+        }
+        for name, declaration in (
+            ("lease_worker", "TEXT"),
+            ("lease_expires_at", "REAL"),
+            ("attempts", "INTEGER NOT NULL DEFAULT 0"),
+        ):
+            if name not in columns:
+                self._conn.execute(
+                    f"ALTER TABLE jobs ADD COLUMN {name} {declaration}"
+                )
 
     @property
     def path(self) -> str:
@@ -202,6 +234,40 @@ class JobStore:
                 "finished_at = COALESCE(?, finished_at) "
                 "WHERE job_id = ?",
                 (state, error, started_param, finished_at, job_id),
+            )
+            self._conn.commit()
+
+    def set_lease(
+        self,
+        job_id: str,
+        worker: str,
+        expires_at: float,
+        attempts: int,
+    ) -> None:
+        """Record a claimed (or re-heartbeated) fleet lease.
+
+        The in-memory :class:`repro.service.fleet.RemoteBackend` is
+        authoritative for lease arbitration (monotonic deadlines); these
+        wall-clock rows exist so a restarted service — and offline
+        ``repro jobs show`` — can see who held what and how many
+        attempts a job has burned.
+        """
+        with _timed("set_lease"), self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET lease_worker = ?, lease_expires_at = ?, "
+                "attempts = ? WHERE job_id = ?",
+                (worker, expires_at, attempts, job_id),
+            )
+            self._conn.commit()
+
+    def clear_lease(self, job_id: str) -> None:
+        """Drop the lease columns (job completed, requeued, or failed);
+        ``attempts`` is kept — it is audit history, not lease state."""
+        with _timed("clear_lease"), self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET lease_worker = NULL, "
+                "lease_expires_at = NULL WHERE job_id = ?",
+                (job_id,),
             )
             self._conn.commit()
 
@@ -353,13 +419,15 @@ class JobStore:
 
 _JOB_COLUMNS = (
     "job_id, seq, content_hash, spec, state, error, "
-    "submitted_at, started_at, finished_at"
+    "submitted_at, started_at, finished_at, "
+    "lease_worker, lease_expires_at, attempts"
 )
 
 
 def _stored_job(row) -> StoredJob:
     (job_id, seq, content_hash, spec, state, error,
-     submitted_at, started_at, finished_at) = row
+     submitted_at, started_at, finished_at,
+     lease_worker, lease_expires_at, attempts) = row
     return StoredJob(
         job_id=job_id,
         seq=int(seq),
@@ -370,4 +438,7 @@ def _stored_job(row) -> StoredJob:
         submitted_at=submitted_at,
         started_at=started_at,
         finished_at=finished_at,
+        lease_worker=lease_worker,
+        lease_expires_at=lease_expires_at,
+        attempts=int(attempts or 0),
     )

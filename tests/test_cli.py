@@ -303,6 +303,24 @@ class TestLoaderErrors:
         assert "--executor" in err
         assert "thread" in err and "process" in err
 
+    def test_worker_with_no_service_exits_2(self, capsys):
+        code = main([
+            "worker",
+            "--server", "http://127.0.0.1:1",  # nothing listens here
+            "--startup-timeout", "0.2",
+        ])
+        assert code == 2
+        assert "did not become healthy" in capsys.readouterr().err
+
+    def test_scenarios_remote_requires_fleet_port(self, tmp_path, capsys):
+        code = main([
+            "scenarios", "run", "--preset", "smoke",
+            "--executor", "remote",
+            "--output", str(tmp_path / "snap.json"),
+        ])
+        assert code == 2
+        assert "fleet_port" in capsys.readouterr().err
+
 
 class TestOtherCommands:
     def test_privacy_identity(self, workspace, capsys):

@@ -18,7 +18,7 @@ from repro.io.json_io import database_to_json, tree_to_json
 from repro.provenance.builder import build_kexample
 from repro.query.parser import parse_cq
 from repro.service import (
-    EXECUTOR_NAMES,
+    LOCAL_EXECUTOR_NAMES,
     JOB_CANCELLED,
     JOB_DONE,
     JOB_QUEUED,
@@ -30,9 +30,13 @@ from repro.service import (
 from repro.store import JobStore
 
 
-@pytest.fixture(params=EXECUTOR_NAMES)
+@pytest.fixture(params=LOCAL_EXECUTOR_NAMES)
 def executor(request):
-    """Every execution-behavior test runs once per backend."""
+    """Every execution-behavior test runs once per local backend.
+
+    The ``remote`` tier needs fleet workers on the other side and is
+    exercised by tests/test_fleet.py instead.
+    """
     return request.param
 
 
@@ -260,7 +264,7 @@ class TestHTTPService:
 
     def test_submit_poll_result_roundtrip(self, http_service):
         client, _ = http_service
-        ids = client.submit([inline_spec(tag="h1")])
+        ids = client.submit_many([inline_spec(tag="h1")])
         payload = client.wait(ids[0], timeout=60)
         assert payload["state"] == JOB_DONE
         assert payload["found"]
@@ -270,9 +274,9 @@ class TestHTTPService:
 
     def test_second_stream_reports_sessions_reused(self, http_service):
         client, _ = http_service
-        first = client.submit([inline_spec(threshold=2)])
+        first = client.submit_many([inline_spec(threshold=2)])
         client.wait(first[0], timeout=60)
-        second = client.submit([inline_spec(threshold=3)])
+        second = client.submit_many([inline_spec(threshold=3)])
         payload = client.wait(second[0], timeout=60)
         assert payload["session_reused"] is True
         stats = client.stats()
@@ -281,7 +285,7 @@ class TestHTTPService:
 
     def test_named_workload_job_over_http(self, http_service):
         client, _ = http_service
-        ids = client.submit([{
+        ids = client.submit_many([{
             "query_name": "TPCH-Q3", "threshold": 2,
             "max_candidates": 300, "max_seconds": 10, "tag": "named",
         }])
@@ -298,20 +302,22 @@ class TestHTTPService:
             client.cancel("job-999999")
 
     def test_bad_spec_is_400_naming_the_key(self, http_service):
+        # The wire error comes back as the same typed exception the
+        # in-process submit raises, not a generic ServiceError.
         client, _ = http_service
-        with pytest.raises(ServiceError, match="treshold"):
-            client.submit([{"query_name": "TPCH-Q3", "treshold": 2}])
+        with pytest.raises(JobSpecError, match="treshold"):
+            client.submit_many([{"query_name": "TPCH-Q3", "treshold": 2}])
 
     def test_cancel_endpoint_on_finished_job(self, http_service):
         client, _ = http_service
-        ids = client.submit([inline_spec()])
+        ids = client.submit_many([inline_spec()])
         client.wait(ids[0], timeout=60)
         assert client.cancel(ids[0]) is False
 
     def test_health_stats_and_listing(self, http_service):
         client, _ = http_service
         assert client.health() == {"ok": True}
-        ids = client.submit([inline_spec(tag="listed")])
+        ids = client.submit_many([inline_spec(tag="listed")])
         client.wait(ids[0], timeout=60)
         stats = client.stats()
         for key in ("uptime_seconds", "queue_depth", "queue_capacity",
@@ -350,13 +356,13 @@ class TestHTTPService:
 
     def test_failed_job_reported_not_crashing_service(self, http_service):
         client, _ = http_service
-        ids = client.submit([{"query_name": "NO-SUCH-QUERY", "threshold": 2}])
+        ids = client.submit_many([{"query_name": "NO-SUCH-QUERY", "threshold": 2}])
         payload = client.wait(ids[0], timeout=60)
         assert payload["state"] == "failed"
         assert "NO-SUCH-QUERY" in payload["error"]
         assert client.stats()["jobs_failed"] == 1
         # The service keeps serving after a failure.
-        ids = client.submit([inline_spec()])
+        ids = client.submit_many([inline_spec()])
         assert client.wait(ids[0], timeout=60)["state"] == JOB_DONE
 
 
@@ -512,9 +518,17 @@ class TestExecutorTier:
                                            payloads["thread"]):
             assert normalized(via_process) == normalized(via_thread)
 
-    def test_client_submit_accepts_single_spec_dict(self, http_service):
+    def test_client_submit_takes_one_spec(self, http_service):
         client, _ = http_service
-        ids = client.submit(inline_spec(tag="single"))
+        job_id = client.submit(inline_spec(tag="single"))
+        assert isinstance(job_id, str)
+        assert client.wait(job_id, timeout=60)["state"] == JOB_DONE
+
+    def test_client_submit_sequence_shim_warns(self, http_service):
+        """The pre-v1 submit(sequence) convention still works, loudly."""
+        client, _ = http_service
+        with pytest.warns(DeprecationWarning, match="submit_many"):
+            ids = client.submit([inline_spec(tag="shim")])
         assert len(ids) == 1
         assert client.wait(ids[0], timeout=60)["state"] == JOB_DONE
 

@@ -313,6 +313,73 @@ class TestJobStore:
         assert [j.seq for j in store.list_jobs()] == [1, 2, 3]
         assert [j.seq for j in store.list_jobs(state=JOB_QUEUED)] == [1, 3]
 
+    def test_lease_columns_round_trip_and_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        store = JobStore(path)
+        store.record_job("job-000001", 1, "h", {}, JOB_QUEUED)
+        store.set_lease("job-000001", "worker-a", 1234.5, 2)
+        stored = store.get_job("job-000001")
+        assert stored.lease_worker == "worker-a"
+        assert stored.lease_expires_at == 1234.5
+        assert stored.attempts == 2
+        store.close()
+
+        store = JobStore(path)
+        stored = store.get_job("job-000001")
+        assert stored.lease_worker == "worker-a"
+        assert stored.attempts == 2
+        # Clearing drops the live lease but keeps the attempt history
+        # (audit: how many claims this job burned).
+        store.clear_lease("job-000001")
+        stored = store.get_job("job-000001")
+        assert stored.lease_worker is None
+        assert stored.lease_expires_at is None
+        assert stored.attempts == 2
+
+    def test_pre_lease_schema_is_migrated_on_open(self, tmp_path):
+        # A store created before the fleet columns existed must gain
+        # them transparently on open (ALTER TABLE migration).
+        import sqlite3
+
+        path = str(tmp_path / "old.db")
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            CREATE TABLE jobs (
+                job_id TEXT PRIMARY KEY,
+                seq INTEGER NOT NULL,
+                content_hash TEXT NOT NULL,
+                spec TEXT NOT NULL,
+                state TEXT NOT NULL,
+                error TEXT,
+                submitted_at REAL NOT NULL,
+                started_at REAL,
+                finished_at REAL
+            );
+            CREATE TABLE results (
+                content_hash TEXT PRIMARY KEY,
+                payload TEXT NOT NULL,
+                created_at REAL NOT NULL,
+                last_used_at REAL NOT NULL,
+                hits INTEGER NOT NULL DEFAULT 0
+            );
+            CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT);
+            INSERT INTO jobs VALUES
+                ('job-000001', 1, 'h', '{}', 'queued', NULL, 1.0,
+                 NULL, NULL);
+            """
+        )
+        conn.commit()
+        conn.close()
+
+        store = JobStore(path)
+        stored = store.get_job("job-000001")
+        assert stored.lease_worker is None
+        assert stored.attempts == 0
+        store.set_lease("job-000001", "w", 9.0, 1)
+        assert store.get_job("job-000001").lease_worker == "w"
+        store.close()
+
     def test_first_result_write_wins(self):
         store = JobStore(":memory:")
         assert store.save_result("h", {"value": 1}) is True
